@@ -1,0 +1,76 @@
+//! Defense-algorithm benches: one verification per baseline on both the
+//! wild simulated graph and a synthetic injected-cluster graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osn_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use sybil_bench::small_fixture;
+use sybil_defense::common::injected_cluster_graph;
+use sybil_defense::{
+    ConductanceRanking, SumUp, SybilDefense, SybilGuard, SybilInfer, SybilLimit, Verdict,
+};
+
+fn bench_defenses(c: &mut Criterion) {
+    let out = small_fixture();
+    let g = &out.graph;
+    let verifier = out
+        .normal_ids()
+        .into_iter()
+        .find(|&n| g.degree(n) >= 30)
+        .expect("a connected verifier exists");
+    let suspect = out
+        .sybil_ids()
+        .into_iter()
+        .find(|&s| g.degree(s) >= 10)
+        .expect("a connected sybil exists");
+
+    let sg = SybilGuard::new(g, Some(120), 1);
+    c.bench_function("sybilguard_verify_wild", |b| {
+        b.iter(|| black_box(sg.verify(g, verifier, suspect) == Verdict::Accept))
+    });
+
+    let sl = SybilLimit::new(g, 2);
+    println!(
+        "[defense] SybilLimit wild: r={} w={} min_intersections={}",
+        sl.instances, sl.route_len, sl.min_intersections
+    );
+    c.bench_function("sybillimit_verify_wild", |b| {
+        b.iter(|| black_box(sl.verify(g, verifier, suspect) == Verdict::Accept))
+    });
+
+    let si = SybilInfer::new(g, 3);
+    si.verify(g, verifier, suspect); // warm the per-verifier profile cache
+    c.bench_function("sybilinfer_verify_wild_cached", |b| {
+        b.iter(|| black_box(si.verify(g, verifier, suspect) == Verdict::Accept))
+    });
+
+    let su = SumUp::new(50);
+    c.bench_function("sumup_verify_wild", |b| {
+        b.iter(|| black_box(su.verify(g, verifier, suspect) == Verdict::Accept))
+    });
+
+    let cr = ConductanceRanking::new();
+    cr.verify(g, verifier, suspect); // warm the community cache
+    c.bench_function("conductance_verify_wild_cached", |b| {
+        b.iter(|| black_box(cr.verify(g, verifier, suspect) == Verdict::Accept))
+    });
+
+    // Injected-cluster setup cost (graph build + one verification round).
+    c.bench_function("injected_cluster_build_and_verify", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let (inj, first_sybil) = injected_cluster_graph(1000, 100, 5, &mut rng);
+            let sg = SybilGuard::new(&inj, Some(40), 1);
+            black_box(sg.verify(&inj, NodeId(0), first_sybil) == Verdict::Accept)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_defenses
+}
+criterion_main!(benches);

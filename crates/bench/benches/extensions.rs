@@ -1,0 +1,48 @@
+//! Benches for the extension experiments (classifier zoo, mixing
+//! analysis, deployment replay).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sybil_bench::tiny_ctx;
+use sybil_repro::{deployment, mixing, zoo};
+
+fn bench_extensions(c: &mut Criterion) {
+    let ctx = tiny_ctx();
+
+    let z = zoo::run(ctx, 50, 5);
+    for r in &z.rows {
+        println!(
+            "[zoo] {:22} accuracy {:.1}% auc {:.3}",
+            r.name,
+            100.0 * r.matrix.accuracy(),
+            r.auc
+        );
+    }
+    c.bench_function("zoo_classifiers", |b| {
+        b.iter(|| black_box(zoo::run(ctx, 50, 5)))
+    });
+
+    let m = mixing::run(ctx);
+    println!(
+        "[mixing] escape: wild {:.2} vs injected {:.2} (honest baseline {:.2})",
+        m.wild_escape, m.injected_escape, m.honest_escape
+    );
+    c.bench_function("mixing_analysis", |b| b.iter(|| black_box(mixing::run(ctx))));
+
+    let d = deployment::run(ctx, 50);
+    println!(
+        "[deployment] static catch {:.0}% | adaptive catch {:.0}%",
+        100.0 * d.static_report.catch_rate(),
+        100.0 * d.adaptive_report.catch_rate()
+    );
+    c.bench_function("deployment_replay", |b| {
+        b.iter(|| black_box(deployment::run(ctx, 50)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_extensions
+}
+criterion_main!(benches);

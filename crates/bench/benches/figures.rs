@@ -1,0 +1,99 @@
+//! One Criterion bench per paper *figure*: times regenerating the figure's
+//! data series from the shared small-scale simulation, and prints the
+//! headline numbers once so `cargo bench` doubles as a results check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sybil_bench::small_ctx;
+use sybil_repro::{fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
+
+fn bench_figures(c: &mut Criterion) {
+    let ctx = small_ctx();
+    let per_class = 200;
+
+    let f1 = fig1::run(ctx, per_class);
+    println!(
+        "[fig1] 40/h cut catches {:.0}% of Sybils at {:.2}% FP (paper ≈70% at 0%)",
+        100.0 * f1.sybils_above_40_per_h,
+        100.0 * f1.normals_above_40_per_h
+    );
+    c.bench_function("fig1_invitation_frequency", |b| {
+        b.iter(|| black_box(fig1::run(ctx, per_class)))
+    });
+
+    let f2 = fig2::run(ctx, per_class);
+    println!(
+        "[fig2] outgoing accept: sybil {:.2} (paper 0.26), normal {:.2} (paper 0.79)",
+        f2.sybil_mean, f2.normal_mean
+    );
+    c.bench_function("fig2_outgoing_accept", |b| {
+        b.iter(|| black_box(fig2::run(ctx, per_class)))
+    });
+
+    let f3 = fig3::run(ctx, per_class);
+    println!(
+        "[fig3] sybils accepting all incoming: {:.0}% (paper ≈80%)",
+        100.0 * f3.sybils_accepting_all
+    );
+    c.bench_function("fig3_incoming_accept", |b| {
+        b.iter(|| black_box(fig3::run(ctx, per_class)))
+    });
+
+    let f4 = fig4::run(ctx, per_class);
+    println!(
+        "[fig4] clustering means: sybil {:.4}, normal {:.4} (ordering as in paper)",
+        f4.sybil_mean, f4.normal_mean
+    );
+    c.bench_function("fig4_clustering", |b| {
+        b.iter(|| black_box(fig4::run(ctx, per_class)))
+    });
+
+    let f5 = fig5::run(ctx);
+    println!(
+        "[fig5] sybils with ≥1 sybil edge: {:.1}% (paper ≈20%)",
+        100.0 * f5.connected_fraction
+    );
+    c.bench_function("fig5_sybil_degree", |b| b.iter(|| black_box(fig5::run(ctx))));
+
+    let f6 = fig6::run(ctx);
+    println!(
+        "[fig6] components {} | <10 members {:.0}% (paper 98%) | giant share {:.0}% (paper 69%)",
+        f6.sizes.len(),
+        100.0 * f6.below_10,
+        100.0 * f6.giant_share
+    );
+    c.bench_function("fig6_components", |b| b.iter(|| black_box(fig6::run(ctx))));
+
+    let f7 = fig7::run(ctx);
+    println!(
+        "[fig7] components above y=x: {:.0}% (paper 100%)",
+        100.0 * f7.above_diagonal
+    );
+    c.bench_function("fig7_edge_scatter", |b| b.iter(|| black_box(fig7::run(ctx))));
+
+    let f8 = fig8::run(ctx, 1000);
+    println!(
+        "[fig8] mean sybil-edge position {:.2} (0.5 = accidental), intentional {}",
+        f8.mean_position, f8.intentional
+    );
+    c.bench_function("fig8_edge_order", |b| {
+        b.iter(|| black_box(fig8::run(ctx, 1000)))
+    });
+
+    let f9 = fig9::run(ctx);
+    println!(
+        "[fig9] giant component degree: =1 {:.1}% (paper 34.5%), ≤10 {:.1}% (paper 93.7%)",
+        100.0 * f9.degree_one,
+        100.0 * f9.degree_at_most_10
+    );
+    c.bench_function("fig9_component_degree", |b| {
+        b.iter(|| black_box(fig9::run(ctx)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures
+}
+criterion_main!(benches);

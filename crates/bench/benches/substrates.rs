@@ -1,0 +1,140 @@
+//! Substrate performance benches: the building blocks every experiment
+//! leans on — graph algorithms, the simulator itself, feature extraction,
+//! classifier training, and the streaming detector.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osn_graph::{cascade, clustering, components, generators, kcore, sampling, spectral, Timestamp};
+use osn_sim::{simulate, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use sybil_bench::{small_fixture, tiny_fixture};
+use sybil_core::realtime::{replay, RealtimeConfig};
+use sybil_core::svm::kernel::KernelSvmParams;
+use sybil_core::svm::linear::LinearSvmParams;
+use sybil_core::{KernelSvm, LinearSvm, ThresholdClassifier};
+use sybil_features::dataset::GroundTruth;
+use sybil_features::FeatureExtractor;
+
+fn bench_graph(c: &mut Criterion) {
+    let out = small_fixture();
+    let g = &out.graph;
+    println!(
+        "[substrate] graph: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    c.bench_function("graph_connected_components", |b| {
+        b.iter(|| black_box(components::connected_components(g).len()))
+    });
+
+    c.bench_function("graph_sybil_subset_components", |b| {
+        b.iter(|| black_box(components::components_of_subset(g, |n| out.is_sybil(n)).len()))
+    });
+
+    let nodes: Vec<_> = g.nodes().take(2000).collect();
+    c.bench_function("graph_first50_clustering_x2000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &n in &nodes {
+                acc += clustering::first_k_clustering(g, n, 50);
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("graph_snowball_sample_250", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        let seeds: Vec<_> = g.nodes().take(24).collect();
+        let cfg = sampling::SnowballConfig {
+            targets: 250,
+            fanout: 15,
+            degree_bias: 1.0,
+            min_degree: 20,
+            saturation_degree: Some(60),
+        };
+        b.iter(|| black_box(sampling::snowball_sample(g, &seeds, &cfg, &mut rng).len()))
+    });
+
+    c.bench_function("graph_generate_ba_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(generators::barabasi_albert(10_000, 4, Timestamp::ZERO, &mut rng).num_edges()))
+    });
+
+    c.bench_function("graph_kcore_decomposition", |b| {
+        b.iter(|| black_box(kcore::core_numbers(g).len()))
+    });
+
+    c.bench_function("graph_spectral_gap", |b| {
+        b.iter(|| black_box(spectral::spectral_gap(g, 30, 7)))
+    });
+
+    c.bench_function("graph_cascade_p05", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        let seeds: Vec<_> = g.nodes().take(50).collect();
+        b.iter(|| black_box(cascade::independent_cascade(g, &seeds, 0.05, &mut rng).reach()))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("simulate_tiny_full_run", |b| {
+        b.iter(|| black_box(simulate(SimConfig::tiny(1)).graph.num_edges()))
+    });
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let out = tiny_fixture();
+    let fx = FeatureExtractor::new(out);
+    let mut rng = StdRng::seed_from_u64(3);
+    let ds = GroundTruth::sample(&fx, 50, &mut rng);
+
+    c.bench_function("feature_extraction_full_population", |b| {
+        b.iter(|| {
+            let fx = FeatureExtractor::new(out);
+            let ids = out.sybil_ids();
+            black_box(fx.features_for_all(&ids).len())
+        })
+    });
+
+    c.bench_function("threshold_calibration", |b| {
+        b.iter(|| black_box(ThresholdClassifier::calibrate(&ds)))
+    });
+
+    c.bench_function("svm_linear_training", |b| {
+        let params = LinearSvmParams {
+            steps: 50_000,
+            ..LinearSvmParams::default()
+        };
+        b.iter(|| black_box(LinearSvm::train_features(&ds.features, &ds.labels, &params)))
+    });
+
+    c.bench_function("svm_rbf_training", |b| {
+        b.iter(|| {
+            black_box(KernelSvm::train_features(
+                &ds.features,
+                &ds.labels,
+                &KernelSvmParams::default(),
+            ))
+        })
+    });
+
+    c.bench_function("realtime_detector_replay_tiny", |b| {
+        let cfg = RealtimeConfig {
+            rule: ThresholdClassifier {
+                max_out_ratio: 0.5,
+                min_freq: 15.0,
+                max_cc: f64::INFINITY,
+            },
+            ..RealtimeConfig::default()
+        };
+        b.iter(|| black_box(replay(out, &cfg).true_positives))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_graph, bench_simulator, bench_detectors
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! One Criterion bench per paper *table*.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sybil_bench::small_ctx;
+use sybil_repro::{table1, table2, table3};
+
+fn bench_tables(c: &mut Criterion) {
+    let ctx = small_ctx();
+
+    let t1 = table1::run(ctx, 200, 5);
+    println!(
+        "[table1] SVM accuracy {:.2}% | threshold accuracy {:.2}% (paper: both ≈99%)",
+        100.0 * t1.svm.accuracy(),
+        100.0 * t1.threshold.accuracy()
+    );
+    c.bench_function("table1_classifiers", |b| {
+        b.iter(|| black_box(table1::run(ctx, 200, 5)))
+    });
+
+    let t2 = table2::run(ctx);
+    if let Some(r) = t2.rows.first() {
+        println!(
+            "[table2] giant component: {} sybils, {} sybil edges, {} attack edges, audience {}",
+            r.sybils, r.sybil_edges, r.attack_edges, r.audience
+        );
+    }
+    c.bench_function("table2_largest_components", |b| {
+        b.iter(|| black_box(table2::run(ctx)))
+    });
+
+    let t3 = table3::run(ctx);
+    println!(
+        "[table3] tools: {} rows (catalog + measured behavior)",
+        t3.rows.len()
+    );
+    c.bench_function("table3_tools", |b| b.iter(|| black_box(table3::run(ctx))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables
+}
+criterion_main!(benches);

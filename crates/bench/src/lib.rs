@@ -1,0 +1,36 @@
+//! # sybil-bench — shared benchmark fixtures
+//!
+//! The Criterion benches (one per paper table/figure, plus substrate and
+//! ablation benches) share simulation fixtures through this small library
+//! so the expensive simulated datasets are built once per bench binary.
+
+#![forbid(unsafe_code)]
+
+use osn_sim::{simulate, SimConfig, SimOutput};
+use std::sync::OnceLock;
+use sybil_repro::{Ctx, Scale};
+
+/// The standard small-scale simulation used by the figure/table benches.
+/// Built on first use and cached for the process lifetime.
+pub fn small_fixture() -> &'static SimOutput {
+    static FIXTURE: OnceLock<SimOutput> = OnceLock::new();
+    FIXTURE.get_or_init(|| simulate(SimConfig::small(42)))
+}
+
+/// A tiny simulation for expensive per-iteration benches.
+pub fn tiny_fixture() -> &'static SimOutput {
+    static FIXTURE: OnceLock<SimOutput> = OnceLock::new();
+    FIXTURE.get_or_init(|| simulate(SimConfig::tiny(42)))
+}
+
+/// Experiment context over the small fixture (components precomputed).
+pub fn small_ctx() -> &'static Ctx {
+    static CTX: OnceLock<Ctx> = OnceLock::new();
+    CTX.get_or_init(|| Ctx::from_output(small_fixture().clone(), Scale::Small, 42))
+}
+
+/// Experiment context over the tiny fixture.
+pub fn tiny_ctx() -> &'static Ctx {
+    static CTX: OnceLock<Ctx> = OnceLock::new();
+    CTX.get_or_init(|| Ctx::from_output(tiny_fixture().clone(), Scale::Tiny, 42))
+}

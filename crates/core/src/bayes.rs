@@ -1,0 +1,188 @@
+//! Gaussian naive Bayes.
+//!
+//! §4 of the paper notes that prior OSN-spam work leaned on "Bayesian
+//! filters and SVMs" (Benevenuto et al., Stringhini et al.). This is that
+//! baseline: per-class Gaussian likelihoods per feature, independence
+//! assumption, MAP decision. It benchmarks against the paper's threshold
+//! rule and SVM in the `classifier_zoo` experiment.
+
+use crate::Classifier;
+use serde::{Deserialize, Serialize};
+use sybil_features::FeatureVector;
+
+/// Per-feature Gaussian parameters for one class.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ClassModel {
+    prior_log: f64,
+    mean: Vec<f64>,
+    var: Vec<f64>,
+}
+
+impl ClassModel {
+    fn log_likelihood(&self, x: &[f64]) -> f64 {
+        let mut ll = self.prior_log;
+        for ((&xi, &m), &v) in x.iter().zip(&self.mean).zip(&self.var) {
+            let d = xi - m;
+            ll += -0.5 * (v.ln() + d * d / v + (2.0 * std::f64::consts::PI).ln());
+        }
+        ll
+    }
+}
+
+/// A trained Gaussian naive Bayes classifier over the five behavioral
+/// features.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NaiveBayes {
+    sybil: ClassModel,
+    normal: ClassModel,
+}
+
+/// Variance floor: degenerate (constant) features must not produce
+/// infinite likelihood ratios.
+const VAR_FLOOR: f64 = 1e-6;
+
+impl NaiveBayes {
+    /// Fit from feature vectors and labels (`true` = Sybil). Panics on
+    /// empty or single-class input.
+    pub fn train(features: &[FeatureVector], labels: &[bool]) -> Self {
+        assert_eq!(features.len(), labels.len());
+        assert!(
+            labels.iter().any(|&l| l) && labels.iter().any(|&l| !l),
+            "need both classes to train"
+        );
+        let fit = |class: bool| -> ClassModel {
+            let rows: Vec<[f64; 5]> = features
+                .iter()
+                .zip(labels)
+                .filter(|(_, &l)| l == class)
+                .map(|(f, _)| f.as_array())
+                .collect();
+            let n = rows.len() as f64;
+            let mut mean = vec![0.0; 5];
+            for r in &rows {
+                for (m, &x) in mean.iter_mut().zip(r.iter()) {
+                    *m += x;
+                }
+            }
+            for m in &mut mean {
+                *m /= n;
+            }
+            let mut var = vec![0.0; 5];
+            for r in &rows {
+                for ((v, &x), &m) in var.iter_mut().zip(r.iter()).zip(&mean) {
+                    *v += (x - m) * (x - m);
+                }
+            }
+            for v in &mut var {
+                *v = (*v / n).max(VAR_FLOOR);
+            }
+            ClassModel {
+                prior_log: (n / features.len() as f64).ln(),
+                mean,
+                var,
+            }
+        };
+        NaiveBayes {
+            sybil: fit(true),
+            normal: fit(false),
+        }
+    }
+
+    /// Log-odds of the Sybil class.
+    pub fn log_odds(&self, f: &FeatureVector) -> f64 {
+        let x = f.as_array();
+        self.sybil.log_likelihood(&x) - self.normal.log_likelihood(&x)
+    }
+}
+
+impl Classifier for NaiveBayes {
+    fn is_sybil(&self, f: &FeatureVector) -> bool {
+        self.log_odds(f) > 0.0
+    }
+
+    fn score(&self, f: &FeatureVector) -> f64 {
+        self.log_odds(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(freq: f64, ratio: f64) -> FeatureVector {
+        FeatureVector {
+            inv_freq_1h: freq,
+            inv_freq_400h: freq * 8.0,
+            outgoing_accept_ratio: ratio,
+            incoming_accept_ratio: 1.0,
+            clustering_coefficient: 0.02,
+        }
+    }
+
+    fn separable() -> (Vec<FeatureVector>, Vec<bool>) {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let j = (i % 10) as f64 * 0.3;
+            features.push(fv(35.0 + j, 0.2 + j * 0.01));
+            labels.push(true);
+            features.push(fv(2.0 + j, 0.8 - j * 0.01));
+            labels.push(false);
+        }
+        (features, labels)
+    }
+
+    #[test]
+    fn classifies_separable_data() {
+        let (features, labels) = separable();
+        let nb = NaiveBayes::train(&features, &labels);
+        for (f, &l) in features.iter().zip(&labels) {
+            assert_eq!(nb.is_sybil(f), l);
+        }
+    }
+
+    #[test]
+    fn log_odds_orders_confidence() {
+        let (features, labels) = separable();
+        let nb = NaiveBayes::train(&features, &labels);
+        assert!(nb.log_odds(&fv(60.0, 0.1)) > nb.log_odds(&fv(36.0, 0.25)));
+        assert!(nb.log_odds(&fv(1.0, 0.9)) < 0.0);
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        // incoming ratio and cc are constant across the training data;
+        // VAR_FLOOR keeps likelihoods finite.
+        let (features, labels) = separable();
+        let nb = NaiveBayes::train(&features, &labels);
+        let odds = nb.log_odds(&fv(35.0, 0.2));
+        assert!(odds.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "need both classes")]
+    fn single_class_rejected() {
+        let (features, _) = separable();
+        let labels = vec![true; features.len()];
+        NaiveBayes::train(&features, &labels);
+    }
+
+    #[test]
+    fn priors_matter_for_imbalanced_data() {
+        // 9:1 normal-heavy data with overlapping features: the prior pulls
+        // ambiguous points toward normal.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..90 {
+            features.push(fv(10.0 + (i % 5) as f64, 0.5));
+            labels.push(false);
+        }
+        for i in 0..10 {
+            features.push(fv(11.0 + (i % 5) as f64, 0.5));
+            labels.push(true);
+        }
+        let nb = NaiveBayes::train(&features, &labels);
+        // A point equidistant between the class means leans normal.
+        assert!(!nb.is_sybil(&fv(11.0, 0.5)));
+    }
+}

@@ -1,0 +1,184 @@
+//! L2-regularized logistic regression (batch gradient descent).
+//!
+//! The second related-work baseline family (§4). Unlike the SVM it yields
+//! calibrated probabilities, which the `classifier_zoo` experiment uses
+//! for its ROC comparison.
+
+use crate::svm::Scaler;
+use crate::Classifier;
+use serde::{Deserialize, Serialize};
+use sybil_features::FeatureVector;
+
+/// Training hyper-parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LogisticParams {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+}
+
+impl Default for LogisticParams {
+    fn default() -> Self {
+        LogisticParams {
+            learning_rate: 0.5,
+            l2: 1e-4,
+            epochs: 500,
+        }
+    }
+}
+
+/// A trained logistic-regression classifier with built-in
+/// standardization.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    scaler: Scaler,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Fit from raw feature rows and labels (`true` = Sybil).
+    pub fn train(rows: &[Vec<f64>], labels: &[bool], params: &LogisticParams) -> Self {
+        assert_eq!(rows.len(), labels.len());
+        assert!(!rows.is_empty(), "cannot train on no data");
+        assert!(
+            labels.iter().any(|&l| l) && labels.iter().any(|&l| !l),
+            "need both classes to train"
+        );
+        let scaler = Scaler::fit(rows);
+        let x = scaler.transform_all(rows);
+        let y: Vec<f64> = labels.iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
+        let d = x[0].len();
+        let n = x.len() as f64;
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        for _ in 0..params.epochs {
+            let mut gw = vec![0.0; d];
+            let mut gb = 0.0;
+            for (xi, &yi) in x.iter().zip(&y) {
+                let p = sigmoid(dot(&w, xi) + b);
+                let err = p - yi;
+                for (g, &xij) in gw.iter_mut().zip(xi) {
+                    *g += err * xij;
+                }
+                gb += err;
+            }
+            for (wj, gj) in w.iter_mut().zip(&gw) {
+                *wj -= params.learning_rate * (gj / n + params.l2 * *wj);
+            }
+            b -= params.learning_rate * gb / n;
+        }
+        LogisticRegression {
+            scaler,
+            weights: w,
+            bias: b,
+        }
+    }
+
+    /// Fit directly from [`FeatureVector`]s.
+    pub fn train_features(
+        features: &[FeatureVector],
+        labels: &[bool],
+        params: &LogisticParams,
+    ) -> Self {
+        let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_array().to_vec()).collect();
+        Self::train(&rows, labels, params)
+    }
+
+    /// P(Sybil | features).
+    pub fn probability(&self, f: &FeatureVector) -> f64 {
+        let x = self.scaler.transform(&f.as_array());
+        sigmoid(dot(&self.weights, &x) + self.bias)
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl Classifier for LogisticRegression {
+    fn is_sybil(&self, f: &FeatureVector) -> bool {
+        self.probability(f) > 0.5
+    }
+
+    fn score(&self, f: &FeatureVector) -> f64 {
+        self.probability(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(freq: f64, ratio: f64) -> FeatureVector {
+        FeatureVector {
+            inv_freq_1h: freq,
+            inv_freq_400h: freq * 8.0,
+            outgoing_accept_ratio: ratio,
+            incoming_accept_ratio: 1.0,
+            clustering_coefficient: 0.02,
+        }
+    }
+
+    fn separable() -> (Vec<FeatureVector>, Vec<bool>) {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..80 {
+            let j = (i % 10) as f64 * 0.2;
+            features.push(fv(30.0 + j, 0.25));
+            labels.push(true);
+            features.push(fv(2.0 + j, 0.75));
+            labels.push(false);
+        }
+        (features, labels)
+    }
+
+    #[test]
+    fn classifies_separable_data() {
+        let (features, labels) = separable();
+        let lr = LogisticRegression::train_features(&features, &labels, &Default::default());
+        for (f, &l) in features.iter().zip(&labels) {
+            assert_eq!(lr.is_sybil(f), l);
+        }
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_extremes() {
+        let (features, labels) = separable();
+        let lr = LogisticRegression::train_features(&features, &labels, &Default::default());
+        assert!(lr.probability(&fv(60.0, 0.1)) > 0.95);
+        assert!(lr.probability(&fv(0.5, 0.9)) < 0.05);
+        let p = lr.probability(&fv(16.0, 0.5)); // midpoint-ish
+        assert!((0.01..0.99).contains(&p), "midpoint p {p}");
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "need both classes")]
+    fn single_class_rejected() {
+        let (features, _) = separable();
+        LogisticRegression::train_features(
+            &features,
+            &vec![false; features.len()],
+            &Default::default(),
+        );
+    }
+}

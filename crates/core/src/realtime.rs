@@ -1,0 +1,589 @@
+//! The streaming (near real-time) Sybil detector.
+//!
+//! This is the deployment model of §2.3: the detector consumes Renren's
+//! friend-request event stream, maintains per-account running features
+//! (trailing invitation counts, accept ratios over *decided* requests,
+//! clustering over the friends acquired so far), and flags an account the
+//! moment the threshold rule fires. Flagged accounts go to the
+//! verification team; confirmed labels feed the adaptive thresholds.
+//!
+//! Here the "event stream" is a replay of a simulation's request log
+//! (sends and decisions merged in time order) and the "verification team"
+//! is the simulation's ground truth, delivered with a delay.
+
+use crate::adaptive::AdaptiveThresholds;
+use crate::threshold::ThresholdClassifier;
+use crate::Classifier;
+use osn_graph::{NodeId, Timestamp};
+use osn_sim::SimOutput;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashSet, VecDeque};
+use sybil_features::FeatureVector;
+
+/// Streaming-detector configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RealtimeConfig {
+    /// Evaluate an account only once it has sent at least this many
+    /// requests.
+    pub warmup_requests: usize,
+    /// Evaluate every `check_every`-th sent request (controls CPU).
+    pub check_every: usize,
+    /// Trailing window (hours) for the frequency feature.
+    pub trailing_window_h: u64,
+    /// Ratio condition requires at least this many *decided* requests.
+    pub min_decided: usize,
+    /// Clustering condition requires at least this many friends.
+    pub min_friends: usize,
+    /// The rule (initial rule when adaptive).
+    pub rule: ThresholdClassifier,
+    /// Enable adaptive feedback.
+    pub adaptive: bool,
+    /// Hours between detection and the verification team's confirmation.
+    pub feedback_delay_h: u64,
+    /// Every this many processed sends, one active account is audited at
+    /// random, giving the adaptive trackers normal-side feedback.
+    pub audit_every: usize,
+}
+
+impl Default for RealtimeConfig {
+    fn default() -> Self {
+        RealtimeConfig {
+            warmup_requests: 20,
+            check_every: 5,
+            trailing_window_h: 1,
+            min_decided: 10,
+            min_friends: 8,
+            rule: ThresholdClassifier::paper(),
+            adaptive: false,
+            feedback_delay_h: 48,
+            audit_every: 200,
+        }
+    }
+}
+
+/// One detection event.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// The flagged account.
+    pub account: NodeId,
+    /// When the rule fired.
+    pub at: Timestamp,
+    /// Whether ground truth says the account really is a Sybil.
+    pub correct: bool,
+}
+
+/// Outcome of a deployment replay.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DeploymentReport {
+    /// All detections in time order.
+    pub detections: Vec<Detection>,
+    /// Sybils caught.
+    pub true_positives: usize,
+    /// Normal users flagged.
+    pub false_positives: usize,
+    /// Sybils that sent ≥ warmup requests but were never flagged.
+    pub missed: usize,
+    /// Mean hours from account creation to detection (over true
+    /// positives).
+    pub mean_latency_h: f64,
+    /// The rule in force at the end of the replay.
+    pub final_rule: ThresholdClassifier,
+}
+
+impl DeploymentReport {
+    /// Catch rate among eligible Sybils.
+    pub fn catch_rate(&self) -> f64 {
+        let total = self.true_positives + self.missed;
+        if total == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct AccountState {
+    sent: u32,
+    accepted: u32,
+    rejected: u32,
+    recent_sends: VecDeque<u64>, // seconds
+    peak_1h: u32,                // historical max sends in any trailing window
+    friends: Vec<NodeId>,        // first ≤ 50
+    detected: bool,
+}
+
+/// Replay a simulation's request log through the streaming detector.
+pub fn replay(out: &SimOutput, cfg: &RealtimeConfig) -> DeploymentReport {
+    let n = out.accounts.len();
+    let mut states: Vec<AccountState> = (0..n).map(|_| AccountState::default()).collect();
+    let mut edges: HashSet<u64> = HashSet::new();
+    let pack = |a: NodeId, b: NodeId| -> u64 {
+        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        ((lo as u64) << 32) | hi as u64
+    };
+
+    // Merge sends and decisions into one chronological stream.
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Send(u32),
+        Decide(u32),
+    }
+    let mut events: Vec<(Timestamp, u8, Ev)> = Vec::with_capacity(out.log.len() * 2);
+    for (i, r) in out.log.records().iter().enumerate() {
+        events.push((r.sent_at, 0, Ev::Send(i as u32)));
+        if let Some(t) = r.outcome.decided_at() {
+            events.push((t, 1, Ev::Decide(i as u32)));
+        }
+    }
+    events.sort_by_key(|&(t, k, _)| (t, k));
+
+    let mut adaptive = AdaptiveThresholds::from_rule(&cfg.rule, 0.02);
+    // Pending verification feedback: (due time, features, truth).
+    let mut feedback_queue: VecDeque<(Timestamp, FeatureVector, bool)> = VecDeque::new();
+    let mut report = DeploymentReport {
+        final_rule: cfg.rule,
+        ..Default::default()
+    };
+    let mut processed_sends: usize = 0;
+    // Deterministic pseudo-random audit pointer.
+    let mut audit_cursor: usize = 1;
+
+    let window_s = cfg.trailing_window_h * 3600;
+    for (t, _, ev) in events {
+        // Deliver due verification feedback.
+        while let Some(&(due, f, truth)) = feedback_queue.front() {
+            if due <= t {
+                adaptive.feedback(&f, truth);
+                feedback_queue.pop_front();
+            } else {
+                break;
+            }
+        }
+        match ev {
+            Ev::Send(i) => {
+                let r = out.log.get(i as usize);
+                processed_sends += 1;
+                let st = &mut states[r.from.index()];
+                if st.detected {
+                    continue;
+                }
+                st.sent += 1;
+                st.recent_sends.push_back(r.sent_at.as_secs());
+                let cutoff = r.sent_at.as_secs().saturating_sub(window_s);
+                while st.recent_sends.front().is_some_and(|&s| s <= cutoff) {
+                    st.recent_sends.pop_front();
+                }
+                st.peak_1h = st.peak_1h.max(st.recent_sends.len() as u32);
+                let should_check = st.sent as usize >= cfg.warmup_requests
+                    && (st.sent as usize).is_multiple_of(cfg.check_every);
+                if should_check {
+                    let features = current_features(&states[r.from.index()], &edges, cfg);
+                    if let Some(f) = features {
+                        let rule = if cfg.adaptive {
+                            adaptive.current_rule()
+                        } else {
+                            cfg.rule
+                        };
+                        if rule.is_sybil(&f) {
+                            let truth = out.is_sybil(r.from);
+                            states[r.from.index()].detected = true;
+                            report.detections.push(Detection {
+                                account: r.from,
+                                at: t,
+                                correct: truth,
+                            });
+                            if truth {
+                                report.true_positives += 1;
+                                report.mean_latency_h +=
+                                    t.as_hours() - out.accounts[r.from.index()].created_at.as_hours();
+                            } else {
+                                report.false_positives += 1;
+                            }
+                            if cfg.adaptive {
+                                feedback_queue.push_back((
+                                    t.plus_secs(cfg.feedback_delay_h * 3600),
+                                    f,
+                                    truth,
+                                ));
+                            }
+                        }
+                    }
+                }
+                // Periodic audit: the verification team reviews a random
+                // active account, giving normal-side (or extra sybil-side)
+                // signal.
+                if cfg.adaptive && processed_sends.is_multiple_of(cfg.audit_every) {
+                    audit_cursor = (audit_cursor.wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407))
+                        % out.log.len().max(1);
+                    let sample = out.log.get(audit_cursor);
+                    if let Some(f) = current_features(&states[sample.from.index()], &edges, cfg) {
+                        feedback_queue.push_back((
+                            t.plus_secs(cfg.feedback_delay_h * 3600),
+                            f,
+                            out.is_sybil(sample.from),
+                        ));
+                    }
+                }
+            }
+            Ev::Decide(i) => {
+                let r = out.log.get(i as usize);
+                if r.outcome.is_accepted() {
+                    edges.insert(pack(r.from, r.to));
+                    let sf = &mut states[r.from.index()];
+                    sf.accepted += 1;
+                    if sf.friends.len() < 50 {
+                        sf.friends.push(r.to);
+                    }
+                    let stt = &mut states[r.to.index()];
+                    if stt.friends.len() < 50 {
+                        stt.friends.push(r.from);
+                    }
+                } else {
+                    states[r.from.index()].rejected += 1;
+                }
+                // Decisions also update the sender's features (ratio and
+                // clustering mature long after the last send), so the
+                // detector re-evaluates here too.
+                let st = &states[r.from.index()];
+                if !st.detected
+                    && st.sent as usize >= cfg.warmup_requests
+                    && ((st.accepted + st.rejected) as usize).is_multiple_of(cfg.check_every)
+                {
+                    if let Some(f) = current_features(st, &edges, cfg) {
+                        let rule = if cfg.adaptive {
+                            adaptive.current_rule()
+                        } else {
+                            cfg.rule
+                        };
+                        if rule.is_sybil(&f) {
+                            let truth = out.is_sybil(r.from);
+                            states[r.from.index()].detected = true;
+                            report.detections.push(Detection {
+                                account: r.from,
+                                at: t,
+                                correct: truth,
+                            });
+                            if truth {
+                                report.true_positives += 1;
+                                report.mean_latency_h += t.as_hours()
+                                    - out.accounts[r.from.index()].created_at.as_hours();
+                            } else {
+                                report.false_positives += 1;
+                            }
+                            if cfg.adaptive {
+                                feedback_queue.push_back((
+                                    t.plus_secs(cfg.feedback_delay_h * 3600),
+                                    f,
+                                    truth,
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Count missed sybils.
+    for (i, a) in out.accounts.iter().enumerate() {
+        if a.is_sybil()
+            && states[i].sent as usize >= cfg.warmup_requests
+            && !states[i].detected
+        {
+            report.missed += 1;
+        }
+    }
+    if report.true_positives > 0 {
+        report.mean_latency_h /= report.true_positives as f64;
+    }
+    report.final_rule = if cfg.adaptive {
+        adaptive.current_rule()
+    } else {
+        cfg.rule
+    };
+    report.detections.sort_by_key(|d| d.at);
+    report
+}
+
+/// Features computable from the stream so far; `None` when the ratio
+/// condition lacks data (the detector stays conservative rather than
+/// flagging accounts it barely knows).
+fn current_features(
+    st: &AccountState,
+    edges: &HashSet<u64>,
+    cfg: &RealtimeConfig,
+) -> Option<FeatureVector> {
+    let decided = st.accepted + st.rejected;
+    if (decided as usize) < cfg.min_decided || st.friends.len() < cfg.min_friends {
+        return None;
+    }
+    let pack = |a: NodeId, b: NodeId| -> u64 {
+        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        ((lo as u64) << 32) | hi as u64
+    };
+    let k = st.friends.len();
+    let mut links = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if edges.contains(&pack(st.friends[i], st.friends[j])) {
+                links += 1;
+            }
+        }
+    }
+    let cc = if k < 2 {
+        0.0
+    } else {
+        links as f64 / (k * (k - 1) / 2) as f64
+    };
+    Some(FeatureVector {
+        inv_freq_1h: st.peak_1h as f64,
+        inv_freq_400h: st.sent as f64, // long-scale proxy: total so far
+        outgoing_accept_ratio: st.accepted as f64 / decided as f64,
+        incoming_accept_ratio: 1.0, // not used by the outgoing-side rule
+        clustering_coefficient: cc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_sim::{simulate, SimConfig};
+
+    fn rule_for_sim() -> ThresholdClassifier {
+        // Scale-calibrated static rule (cc disabled; see threshold.rs docs).
+        ThresholdClassifier {
+            max_out_ratio: 0.5,
+            min_freq: 15.0,
+            max_cc: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn static_deployment_catches_most_sybils_without_false_positives() {
+        let out = simulate(SimConfig::tiny(21));
+        let cfg = RealtimeConfig {
+            rule: rule_for_sim(),
+            ..RealtimeConfig::default()
+        };
+        let report = replay(&out, &cfg);
+        assert!(
+            report.catch_rate() > 0.5,
+            "catch rate {:.2} (tp {} missed {})",
+            report.catch_rate(),
+            report.true_positives,
+            report.missed
+        );
+        let fp_rate = report.false_positives as f64
+            / out.normal_ids().len() as f64;
+        assert!(fp_rate < 0.02, "false positive rate {fp_rate}");
+        assert!(report.mean_latency_h > 0.0);
+    }
+
+    #[test]
+    fn detections_are_time_ordered_and_unique() {
+        let out = simulate(SimConfig::tiny(22));
+        let report = replay(
+            &out,
+            &RealtimeConfig {
+                rule: rule_for_sim(),
+                ..RealtimeConfig::default()
+            },
+        );
+        for w in report.detections.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        let mut seen = HashSet::new();
+        for d in &report.detections {
+            assert!(seen.insert(d.account), "account flagged twice");
+        }
+    }
+
+    #[test]
+    fn adaptive_deployment_also_works() {
+        let out = simulate(SimConfig::tiny(23));
+        let cfg = RealtimeConfig {
+            rule: rule_for_sim(),
+            adaptive: true,
+            ..RealtimeConfig::default()
+        };
+        let report = replay(&out, &cfg);
+        assert!(
+            report.catch_rate() > 0.4,
+            "adaptive catch rate {:.2}",
+            report.catch_rate()
+        );
+        // The adaptive rule must have moved off its initialization.
+        assert!(report.final_rule.min_freq.is_finite());
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let out = simulate(SimConfig::tiny(24));
+        let report = replay(
+            &out,
+            &RealtimeConfig {
+                rule: rule_for_sim(),
+                ..RealtimeConfig::default()
+            },
+        );
+        let tp = report.detections.iter().filter(|d| d.correct).count();
+        let fp = report.detections.iter().filter(|d| !d.correct).count();
+        assert_eq!(tp, report.true_positives);
+        assert_eq!(fp, report.false_positives);
+    }
+}
+
+#[cfg(test)]
+mod synthetic_tests {
+    //! Handcrafted request streams exercising the detector's gating logic
+    //! precisely (no simulator noise).
+
+    use super::*;
+    use osn_sim::{
+        Account, AccountKind, Gender, Profile, RequestLog, RequestOutcome, RequestRecord,
+        SimConfig, SimOutput, ToolKind,
+    };
+
+    /// Build an output with `n` accounts (account 0's kind is chosen) and
+    /// the given (from, to, sent_h, accepted_after_h) request tuples.
+    fn synthetic(
+        n: usize,
+        zero_is_sybil: bool,
+        requests: &[(u32, u32, f64, Option<(f64, bool)>)],
+    ) -> SimOutput {
+        let normal = Account {
+            kind: AccountKind::Normal,
+            profile: Profile::new(Gender::Male, 0.4),
+            created_at: Timestamp::ZERO,
+            banned_at: None,
+            accept_tendency: 0.7,
+            sociability: 1.0,
+        };
+        let mut accounts = vec![normal.clone(); n];
+        if zero_is_sybil {
+            accounts[0].kind = AccountKind::Sybil {
+                attacker: 0,
+                tool: ToolKind::MarketingAssistant,
+            };
+        }
+        let mut graph = osn_graph::TemporalGraph::with_nodes(n);
+        let mut log = RequestLog::new();
+        let mut rows: Vec<_> = requests.to_vec();
+        rows.sort_by(|a, b| a.2.total_cmp(&b.2));
+        for &(from, to, sent_h, decision) in &rows {
+            let idx = log.push(RequestRecord {
+                from: NodeId(from),
+                to: NodeId(to),
+                sent_at: Timestamp::from_hours_f64(sent_h),
+                outcome: RequestOutcome::Pending,
+            });
+            if let Some((after_h, accepted)) = decision {
+                let t = Timestamp::from_hours_f64(sent_h + after_h);
+                if accepted {
+                    log.resolve(idx, RequestOutcome::Accepted(t));
+                    let _ = graph.add_edge(NodeId(from), NodeId(to), t);
+                } else {
+                    log.resolve(idx, RequestOutcome::Rejected(t));
+                }
+            }
+        }
+        SimOutput {
+            config: SimConfig::tiny(0),
+            graph,
+            accounts,
+            log,
+            engine_stats: Default::default(),
+        }
+    }
+
+    fn strict_rule() -> RealtimeConfig {
+        RealtimeConfig {
+            rule: ThresholdClassifier {
+                max_out_ratio: 0.5,
+                min_freq: 20.0,
+                max_cc: f64::INFINITY,
+            },
+            warmup_requests: 20,
+            check_every: 1,
+            min_decided: 10,
+            min_friends: 4,
+            ..RealtimeConfig::default()
+        }
+    }
+
+    /// A burst of 40 requests in one hour, 12 decided (3 accepted): fires.
+    #[test]
+    fn bursty_low_acceptance_account_is_flagged() {
+        let mut reqs = Vec::new();
+        for i in 0..40u32 {
+            let accepted = i < 5; // 5 accepts (≥ min_friends), 9 rejects
+            let decision = if i < 14 {
+                Some((0.5, accepted))
+            } else {
+                None
+            };
+            reqs.push((0, i + 1, 0.01 * i as f64, decision));
+        }
+        let out = synthetic(64, true, &reqs);
+        let report = replay(&out, &strict_rule());
+        assert_eq!(report.true_positives, 1, "the bursty sybil must be caught");
+        assert_eq!(report.false_positives, 0);
+    }
+
+    /// The same burst shape but only 15 requests: warmup keeps it silent.
+    #[test]
+    fn warmup_gates_small_senders() {
+        let mut reqs = Vec::new();
+        for i in 0..15u32 {
+            reqs.push((0, i + 1, 0.01 * i as f64, Some((0.5, i < 2))));
+        }
+        let out = synthetic(32, true, &reqs);
+        let report = replay(&out, &strict_rule());
+        assert!(report.detections.is_empty(), "below warmup must not fire");
+        assert_eq!(report.missed, 0, "sub-warmup sybils are not 'missed'");
+    }
+
+    /// A slow sender with identical totals never crosses the rate cut.
+    #[test]
+    fn slow_sender_is_not_flagged() {
+        let mut reqs = Vec::new();
+        for i in 0..40u32 {
+            // One request every 5 hours.
+            let decision = if i < 12 { Some((0.5, i < 3)) } else { None };
+            reqs.push((0, i + 1, 5.0 * i as f64, decision));
+        }
+        let out = synthetic(64, false, &reqs);
+        let report = replay(&out, &strict_rule());
+        assert!(report.detections.is_empty(), "slow sender must pass");
+    }
+
+    /// Ratio gating: a bursty account whose requests are mostly accepted
+    /// (popular user on a friending spree) is spared by the ratio cut.
+    #[test]
+    fn bursty_but_welcome_account_is_spared() {
+        let mut reqs = Vec::new();
+        for i in 0..40u32 {
+            let decision = if i < 20 { Some((0.4, true)) } else { None };
+            reqs.push((0, i + 1, 0.01 * i as f64, decision));
+        }
+        let out = synthetic(64, false, &reqs);
+        let report = replay(&out, &strict_rule());
+        assert!(
+            report.detections.is_empty(),
+            "high-acceptance bursts are not sybil-like"
+        );
+    }
+
+    /// min_decided gating: a burst with no decisions yet cannot fire.
+    #[test]
+    fn undecided_requests_do_not_trigger() {
+        let mut reqs = Vec::new();
+        for i in 0..40u32 {
+            reqs.push((0, i + 1, 0.01 * i as f64, None));
+        }
+        let out = synthetic(64, true, &reqs);
+        let report = replay(&out, &strict_rule());
+        assert!(report.detections.is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! RBF-kernel SVM trained with simplified SMO (Platt 1998, simplified per
+//! the Stanford CS229 variant): pick multiplier pairs violating the KKT
+//! conditions and solve the two-variable sub-problem analytically.
+//!
+//! For the paper's 1600-example training folds an `O(n²)` kernel cache is
+//! tiny; convergence takes a few dozen passes.
+
+use crate::svm::Scaler;
+use crate::Classifier;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use sybil_features::FeatureVector;
+
+/// Training hyper-parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct KernelSvmParams {
+    /// Soft-margin penalty C.
+    pub c: f64,
+    /// RBF width γ: `K(a,b) = exp(-γ‖a−b‖²)`.
+    pub gamma: f64,
+    /// KKT violation tolerance.
+    pub tol: f64,
+    /// Stop after this many consecutive passes without updates.
+    pub max_quiet_passes: usize,
+    /// Hard cap on total passes.
+    pub max_passes: usize,
+    /// Seed for partner selection.
+    pub seed: u64,
+}
+
+impl Default for KernelSvmParams {
+    fn default() -> Self {
+        KernelSvmParams {
+            c: 10.0,
+            gamma: 0.5,
+            tol: 1e-3,
+            max_quiet_passes: 3,
+            max_passes: 200,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A trained RBF SVM: support vectors, multipliers, bias, and the scaler.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KernelSvm {
+    scaler: Scaler,
+    support: Vec<Vec<f64>>,
+    alpha_y: Vec<f64>, // αᵢ yᵢ for each support vector
+    bias: f64,
+    gamma: f64,
+}
+
+impl KernelSvm {
+    /// Train on raw feature rows and boolean labels (`true` = Sybil).
+    pub fn train(rows: &[Vec<f64>], labels: &[bool], params: &KernelSvmParams) -> Self {
+        assert_eq!(rows.len(), labels.len());
+        assert!(!rows.is_empty(), "cannot train on no data");
+        assert!(
+            labels.iter().any(|&l| l) && labels.iter().any(|&l| !l),
+            "need both classes to train"
+        );
+        let scaler = Scaler::fit(rows);
+        let x = scaler.transform_all(rows);
+        let y: Vec<f64> = labels.iter().map(|&l| if l { 1.0 } else { -1.0 }).collect();
+        let n = x.len();
+        // Kernel cache.
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = rbf(&x[i], &x[j], params.gamma);
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+        }
+        let mut alpha = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let f = |alpha: &[f64], b: f64, k: &[f64], y: &[f64], i: usize| -> f64 {
+            let mut s = b;
+            for j in 0..y.len() {
+                if alpha[j] != 0.0 {
+                    s += alpha[j] * y[j] * k[i * y.len() + j];
+                }
+            }
+            s
+        };
+        let mut quiet = 0usize;
+        let mut passes = 0usize;
+        while quiet < params.max_quiet_passes && passes < params.max_passes {
+            passes += 1;
+            let mut changed = 0usize;
+            for i in 0..n {
+                let ei = f(&alpha, b, &k, &y, i) - y[i];
+                let violates = (y[i] * ei < -params.tol && alpha[i] < params.c)
+                    || (y[i] * ei > params.tol && alpha[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                // Random partner ≠ i.
+                let mut j = rng.random_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let ej = f(&alpha, b, &k, &y, j) - y[j];
+                let (ai_old, aj_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if y[i] != y[j] {
+                    (
+                        (aj_old - ai_old).max(0.0),
+                        (params.c + aj_old - ai_old).min(params.c),
+                    )
+                } else {
+                    (
+                        (ai_old + aj_old - params.c).max(0.0),
+                        (ai_old + aj_old).min(params.c),
+                    )
+                };
+                if lo >= hi {
+                    continue;
+                }
+                let eta = 2.0 * k[i * n + j] - k[i * n + i] - k[j * n + j];
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj = aj_old - y[j] * (ei - ej) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - aj_old).abs() < 1e-7 {
+                    continue;
+                }
+                let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+                alpha[i] = ai;
+                alpha[j] = aj;
+                let b1 = b - ei
+                    - y[i] * (ai - ai_old) * k[i * n + i]
+                    - y[j] * (aj - aj_old) * k[i * n + j];
+                let b2 = b - ej
+                    - y[i] * (ai - ai_old) * k[i * n + j]
+                    - y[j] * (aj - aj_old) * k[j * n + j];
+                b = if ai > 0.0 && ai < params.c {
+                    b1
+                } else if aj > 0.0 && aj < params.c {
+                    b2
+                } else {
+                    0.5 * (b1 + b2)
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                quiet += 1;
+            } else {
+                quiet = 0;
+            }
+        }
+        // Keep only support vectors.
+        let mut support = Vec::new();
+        let mut alpha_y = Vec::new();
+        for i in 0..n {
+            if alpha[i] > 1e-8 {
+                support.push(x[i].clone());
+                alpha_y.push(alpha[i] * y[i]);
+            }
+        }
+        KernelSvm {
+            scaler,
+            support,
+            alpha_y,
+            bias: b,
+            gamma: params.gamma,
+        }
+    }
+
+    /// Train directly from [`FeatureVector`]s.
+    pub fn train_features(
+        features: &[FeatureVector],
+        labels: &[bool],
+        params: &KernelSvmParams,
+    ) -> Self {
+        let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_array().to_vec()).collect();
+        Self::train(&rows, labels, params)
+    }
+
+    /// Signed decision value for a raw feature row.
+    pub fn decision(&self, row: &[f64]) -> f64 {
+        let x = self.scaler.transform(row);
+        let mut s = self.bias;
+        for (sv, ay) in self.support.iter().zip(&self.alpha_y) {
+            s += ay * rbf(sv, &x, self.gamma);
+        }
+        s
+    }
+
+    /// Number of support vectors retained.
+    pub fn num_support_vectors(&self) -> usize {
+        self.support.len()
+    }
+}
+
+fn rbf(a: &[f64], b: &[f64], gamma: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-gamma * d2).exp()
+}
+
+impl Classifier for KernelSvm {
+    fn is_sybil(&self, f: &FeatureVector) -> bool {
+        self.decision(&f.as_array()) > 0.0
+    }
+
+    fn score(&self, f: &FeatureVector) -> f64 {
+        self.decision(&f.as_array())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearly_separable_case() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let j = (i % 10) as f64 / 10.0;
+            rows.push(vec![2.0 + j, 2.0 - j]);
+            labels.push(true);
+            rows.push(vec![-2.0 - j, -2.0 + j]);
+            labels.push(false);
+        }
+        let svm = KernelSvm::train(&rows, &labels, &KernelSvmParams::default());
+        for (r, &l) in rows.iter().zip(&labels) {
+            assert_eq!(svm.decision(r) > 0.0, l, "row {r:?}");
+        }
+        assert!(svm.num_support_vectors() > 0);
+    }
+
+    #[test]
+    fn xor_requires_kernel() {
+        // XOR is not linearly separable; RBF handles it.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..25 {
+            let j = (i % 5) as f64 * 0.02;
+            for (sx, sy) in [(1.0, 1.0), (-1.0, -1.0)] {
+                rows.push(vec![sx + j, sy - j]);
+                labels.push(true);
+            }
+            for (sx, sy) in [(1.0, -1.0), (-1.0, 1.0)] {
+                rows.push(vec![sx - j, sy + j]);
+                labels.push(false);
+            }
+        }
+        let svm = KernelSvm::train(
+            &rows,
+            &labels,
+            &KernelSvmParams {
+                gamma: 1.0,
+                ..KernelSvmParams::default()
+            },
+        );
+        let correct = rows
+            .iter()
+            .zip(&labels)
+            .filter(|(r, &l)| (svm.decision(r) > 0.0) == l)
+            .count();
+        assert!(
+            correct as f64 / rows.len() as f64 > 0.95,
+            "XOR accuracy {correct}/{}",
+            rows.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let rows = vec![
+            vec![1.0, 0.0],
+            vec![0.9, 0.1],
+            vec![-1.0, 0.0],
+            vec![-0.9, -0.1],
+        ];
+        let labels = vec![true, true, false, false];
+        let p = KernelSvmParams::default();
+        let a = KernelSvm::train(&rows, &labels, &p);
+        let b = KernelSvm::train(&rows, &labels, &p);
+        assert_eq!(a.decision(&[0.5, 0.0]), b.decision(&[0.5, 0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "need both classes")]
+    fn single_class_rejected() {
+        KernelSvm::train(
+            &[vec![1.0], vec![2.0]],
+            &[false, false],
+            &KernelSvmParams::default(),
+        );
+    }
+}

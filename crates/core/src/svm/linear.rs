@@ -1,0 +1,198 @@
+//! Linear SVM trained with Pegasos (primal stochastic sub-gradient
+//! descent, Shalev-Shwartz et al. 2007).
+//!
+//! Pegasos minimizes `λ/2‖w‖² + (1/n) Σ max(0, 1 − yᵢ(w·xᵢ + b))` with
+//! step size `1/(λt)`. It converges in `Õ(1/(λε))` iterations independent
+//! of dataset size — far more than enough for the paper's 1600-example
+//! training folds.
+
+use crate::svm::Scaler;
+use crate::Classifier;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use sybil_features::FeatureVector;
+
+/// Training hyper-parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LinearSvmParams {
+    /// Regularization strength λ.
+    pub lambda: f64,
+    /// Number of stochastic steps.
+    pub steps: usize,
+    /// RNG seed for example sampling.
+    pub seed: u64,
+}
+
+impl Default for LinearSvmParams {
+    fn default() -> Self {
+        LinearSvmParams {
+            lambda: 1e-4,
+            steps: 200_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A trained linear SVM with built-in feature standardization.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinearSvm {
+    scaler: Scaler,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearSvm {
+    /// Train on feature rows and boolean labels (`true` = Sybil = +1).
+    ///
+    /// Panics on empty or single-class input.
+    pub fn train(rows: &[Vec<f64>], labels: &[bool], params: &LinearSvmParams) -> Self {
+        assert_eq!(rows.len(), labels.len());
+        assert!(!rows.is_empty(), "cannot train on no data");
+        assert!(
+            labels.iter().any(|&l| l) && labels.iter().any(|&l| !l),
+            "need both classes to train"
+        );
+        let scaler = Scaler::fit(rows);
+        let x = scaler.transform_all(rows);
+        let y: Vec<f64> = labels.iter().map(|&l| if l { 1.0 } else { -1.0 }).collect();
+        let d = x[0].len();
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let lambda = params.lambda.max(1e-12);
+        for t in 1..=params.steps {
+            let i = rng.random_range(0..x.len());
+            let eta = 1.0 / (lambda * t as f64);
+            let margin = y[i] * (dot(&w, &x[i]) + b);
+            // Regularization shrink.
+            let shrink = 1.0 - eta * lambda;
+            for wj in w.iter_mut() {
+                *wj *= shrink;
+            }
+            if margin < 1.0 {
+                for (wj, &xj) in w.iter_mut().zip(&x[i]) {
+                    *wj += eta * y[i] * xj;
+                }
+                b += eta * y[i];
+            }
+        }
+        LinearSvm {
+            scaler,
+            weights: w,
+            bias: b,
+        }
+    }
+
+    /// Train directly from [`FeatureVector`]s.
+    pub fn train_features(
+        features: &[FeatureVector],
+        labels: &[bool],
+        params: &LinearSvmParams,
+    ) -> Self {
+        let rows: Vec<Vec<f64>> = features.iter().map(|f| f.as_array().to_vec()).collect();
+        Self::train(&rows, labels, params)
+    }
+
+    /// Signed decision value for a raw (unscaled) feature row.
+    pub fn decision(&self, row: &[f64]) -> f64 {
+        let x = self.scaler.transform(row);
+        dot(&self.weights, &x) + self.bias
+    }
+
+    /// The learned weights (in standardized space).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl Classifier for LinearSvm {
+    fn is_sybil(&self, f: &FeatureVector) -> bool {
+        self.decision(&f.as_array()) > 0.0
+    }
+
+    fn score(&self, f: &FeatureVector) -> f64 {
+        self.decision(&f.as_array())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n: usize, gap: f64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Two Gaussian-ish blobs along both dimensions, deterministic.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let jitter = ((i * 7919) % 100) as f64 / 100.0 - 0.5;
+            rows.push(vec![gap + jitter, gap + jitter * 0.5]);
+            labels.push(true);
+            rows.push(vec![-gap + jitter, -gap - jitter * 0.5]);
+            labels.push(false);
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn separable_blobs_perfectly_classified() {
+        let (rows, labels) = blobs(200, 2.0);
+        let svm = LinearSvm::train(&rows, &labels, &LinearSvmParams::default());
+        for (r, &l) in rows.iter().zip(&labels) {
+            assert_eq!(svm.decision(r) > 0.0, l);
+        }
+    }
+
+    #[test]
+    fn decision_margin_sign_symmetry() {
+        let (rows, labels) = blobs(100, 3.0);
+        let svm = LinearSvm::train(&rows, &labels, &LinearSvmParams::default());
+        assert!(svm.decision(&[5.0, 5.0]) > 0.0);
+        assert!(svm.decision(&[-5.0, -5.0]) < 0.0);
+        // Deeper in the positive region -> larger score.
+        assert!(svm.decision(&[5.0, 5.0]) > svm.decision(&[0.5, 0.5]));
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (rows, labels) = blobs(50, 2.0);
+        let p = LinearSvmParams::default();
+        let a = LinearSvm::train(&rows, &labels, &p);
+        let b = LinearSvm::train(&rows, &labels, &p);
+        assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    #[should_panic(expected = "need both classes")]
+    fn single_class_rejected() {
+        let rows = vec![vec![1.0], vec![2.0]];
+        let labels = vec![true, true];
+        LinearSvm::train(&rows, &labels, &LinearSvmParams::default());
+    }
+
+    #[test]
+    fn classifier_trait_via_features() {
+        let features: Vec<FeatureVector> = (0..100)
+            .map(|i| FeatureVector {
+                inv_freq_1h: if i % 2 == 0 { 40.0 } else { 2.0 },
+                inv_freq_400h: 0.0,
+                outgoing_accept_ratio: if i % 2 == 0 { 0.2 } else { 0.8 },
+                incoming_accept_ratio: 1.0,
+                clustering_coefficient: 0.01,
+            })
+            .collect();
+        let labels: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let svm = LinearSvm::train_features(&features, &labels, &LinearSvmParams::default());
+        let correct = features
+            .iter()
+            .zip(&labels)
+            .filter(|(f, &l)| svm.is_sybil(f) == l)
+            .count();
+        assert_eq!(correct, 100);
+    }
+}

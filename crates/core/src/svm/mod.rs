@@ -1,0 +1,15 @@
+//! Support-vector machines, from scratch.
+//!
+//! The paper trains an SVM on the 1000+1000 ground truth and reports
+//! ≈ 99% accuracy (Table 1). The Rust ML ecosystem is outside this
+//! workspace's sanctioned dependency set, so both a linear SVM (Pegasos
+//! stochastic sub-gradient descent) and an RBF-kernel SVM (simplified SMO)
+//! are implemented and tested here.
+
+pub mod kernel;
+pub mod linear;
+pub mod scale;
+
+pub use kernel::KernelSvm;
+pub use linear::LinearSvm;
+pub use scale::Scaler;

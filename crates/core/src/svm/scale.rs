@@ -1,0 +1,111 @@
+//! Feature standardization (z-scores).
+//!
+//! SVMs are scale-sensitive; invitation frequencies span 0–100 while
+//! ratios live in [0, 1]. The scaler is fit on training data only and
+//! applied to held-out data, as in any sound CV protocol.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension standardizer: `x → (x − mean) / sd`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    mean: Vec<f64>,
+    sd: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fit to rows of equal dimension. Panics on empty input.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit scaler to no data");
+        let d = rows[0].len();
+        let n = rows.len() as f64;
+        let mut mean = vec![0.0; d];
+        for r in rows {
+            assert_eq!(r.len(), d, "ragged feature rows");
+            for (m, &x) in mean.iter_mut().zip(r) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for r in rows {
+            for ((v, &x), &m) in var.iter_mut().zip(r).zip(&mean) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let sd = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0 // constant feature: leave centered, unscaled
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Scaler { mean, sd }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardize one row.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.dim());
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.sd)
+            .map(|((&x, &m), &s)| (x - m) / s)
+            .collect()
+    }
+
+    /// Standardize many rows.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_mean_unit_variance() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
+        let sc = Scaler::fit(&rows);
+        let t = sc.transform_all(&rows);
+        for d in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[d]).sum::<f64>() / 3.0;
+            let var: f64 = t.iter().map(|r| r[d] * r[d]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_feature_not_divided_by_zero() {
+        let rows = vec![vec![7.0], vec![7.0]];
+        let sc = Scaler::fit(&rows);
+        let t = sc.transform(&[7.0]);
+        assert_eq!(t, vec![0.0]);
+        let t2 = sc.transform(&[9.0]);
+        assert_eq!(t2, vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit scaler to no data")]
+    fn empty_rejected() {
+        Scaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged feature rows")]
+    fn ragged_rejected() {
+        Scaler::fit(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the detector stack.
+
+use proptest::prelude::*;
+use sybil_core::eval::{evaluate, roc_curve};
+use sybil_core::svm::linear::LinearSvmParams;
+use sybil_core::{Classifier, LinearSvm, Scaler, ThresholdClassifier};
+use sybil_features::dataset::GroundTruth;
+use sybil_features::FeatureVector;
+
+fn fv(freq: f64, ratio: f64, cc: f64) -> FeatureVector {
+    FeatureVector {
+        inv_freq_1h: freq,
+        inv_freq_400h: freq * 8.0,
+        outgoing_accept_ratio: ratio,
+        incoming_accept_ratio: 1.0,
+        clustering_coefficient: cc,
+    }
+}
+
+/// A synthetic dataset with class gap `gap` between Sybil and normal
+/// feature centers.
+fn dataset(gap: f64, n: usize, noise: &[f64]) -> GroundTruth {
+    let mut ds = GroundTruth::default();
+    for i in 0..n {
+        let e = noise[i % noise.len()] * 0.2;
+        ds.features.push(fv(20.0 + gap + e, 0.3 - e * 0.1, 0.01));
+        ds.labels.push(true);
+        ds.nodes.push(osn_graph::NodeId(i as u32));
+        ds.features.push(fv(20.0 - gap - e, 0.7 + e * 0.1, 0.05));
+        ds.labels.push(false);
+        ds.nodes.push(osn_graph::NodeId((n + i) as u32));
+    }
+    ds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On any linearly separable dataset, the calibrated threshold rule and
+    /// the linear SVM both classify the training set perfectly.
+    #[test]
+    fn separable_data_learned_perfectly(
+        gap in 3.0f64..15.0,
+        noise in prop::collection::vec(0.0f64..1.0, 4..10)
+    ) {
+        let ds = dataset(gap, 40, &noise);
+        let rule = ThresholdClassifier::calibrate(&ds);
+        let m = evaluate(&rule, &ds.features, &ds.labels);
+        prop_assert_eq!(m.accuracy(), 1.0, "threshold failed at gap {}", gap);
+        // Pegasos is a stochastic solver: with a comfortable margin it
+        // should be essentially perfect; tight margins may need more steps
+        // than a test budget allows, so the bound is slightly loose.
+        let svm = LinearSvm::train_features(
+            &ds.features,
+            &ds.labels,
+            &LinearSvmParams { steps: 120_000, ..Default::default() },
+        );
+        let m2 = evaluate(&svm, &ds.features, &ds.labels);
+        prop_assert!(m2.accuracy() >= 0.97, "svm accuracy {} at gap {}", m2.accuracy(), gap);
+    }
+
+    /// The scaler's transform has zero mean and unit variance on its own
+    /// training rows (up to fp error), for any non-degenerate input.
+    #[test]
+    fn scaler_standardizes(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e3f64..1e3, 3),
+            2..50
+        )
+    ) {
+        let sc = Scaler::fit(&rows);
+        let t = sc.transform_all(&rows);
+        for d in 0..3 {
+            let mean: f64 = t.iter().map(|r| r[d]).sum::<f64>() / t.len() as f64;
+            prop_assert!(mean.abs() < 1e-6, "dim {} mean {}", d, mean);
+            let var: f64 = t.iter().map(|r| r[d] * r[d]).sum::<f64>() / t.len() as f64;
+            // Either standardized or a constant feature (centered to 0).
+            prop_assert!(var < 1.0 + 1e-6);
+        }
+    }
+
+    /// ROC curves are monotone from (0,0) to (1,1) and the AUC is in [0,1]
+    /// for arbitrary score/label combinations.
+    #[test]
+    fn roc_is_well_formed(
+        scores in prop::collection::vec(-10.0f64..10.0, 2..80),
+        flips in prop::collection::vec(any::<bool>(), 80)
+    ) {
+        struct ByFreq;
+        impl Classifier for ByFreq {
+            fn is_sybil(&self, f: &FeatureVector) -> bool { f.inv_freq_1h > 0.0 }
+            fn score(&self, f: &FeatureVector) -> f64 { f.inv_freq_1h }
+        }
+        let features: Vec<FeatureVector> =
+            scores.iter().map(|&s| fv(s, 0.5, 0.01)).collect();
+        let labels: Vec<bool> = (0..features.len()).map(|i| flips[i % flips.len()]).collect();
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        let (curve, auc) = roc_curve(&ByFreq, &features, &labels);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&auc), "auc {}", auc);
+        prop_assert_eq!(curve.first().copied(), Some((0.0, 0.0)));
+        let (lx, ly) = *curve.last().unwrap();
+        prop_assert!((lx - 1.0).abs() < 1e-9 && (ly - 1.0).abs() < 1e-9);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+
+    /// The paper rule's conjunction is monotone: making a feature vector
+    /// strictly more "sybil-like" never flips a Sybil verdict to non-Sybil.
+    #[test]
+    fn threshold_rule_is_monotone(
+        freq in 0.0f64..100.0,
+        ratio in 0.0f64..1.0,
+        cc in 0.0f64..0.5,
+        d_freq in 0.0f64..50.0,
+        d_ratio in 0.0f64..0.5,
+        d_cc in 0.0f64..0.2
+    ) {
+        let rule = ThresholdClassifier::paper();
+        let base = fv(freq, ratio, cc);
+        let worse = fv(freq + d_freq, (ratio - d_ratio).max(0.0), (cc - d_cc).max(0.0));
+        if rule.is_sybil(&base) {
+            prop_assert!(rule.is_sybil(&worse));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Breadth-first traversal, distances, and reachability.
+
+use crate::graph::{NodeId, TemporalGraph};
+use std::collections::VecDeque;
+
+/// Nodes reachable from `start`, in BFS order (including `start`).
+pub fn bfs_order(g: &TemporalGraph, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut order = Vec::new();
+    let mut q = VecDeque::new();
+    seen[start.index()] = true;
+    q.push_back(start);
+    while let Some(u) = q.pop_front() {
+        order.push(u);
+        for nb in g.neighbors(u) {
+            if !seen[nb.node.index()] {
+                seen[nb.node.index()] = true;
+                q.push_back(nb.node);
+            }
+        }
+    }
+    order
+}
+
+/// Hop distance from `start` to every node; `None` for unreachable nodes.
+pub fn distances(g: &TemporalGraph, start: NodeId) -> Vec<Option<u32>> {
+    let mut dist: Vec<Option<u32>> = vec![None; g.num_nodes()];
+    let mut q = VecDeque::new();
+    dist[start.index()] = Some(0);
+    q.push_back(start);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.index()].expect("queued node has a distance");
+        for nb in g.neighbors(u) {
+            if dist[nb.node.index()].is_none() {
+                dist[nb.node.index()] = Some(du + 1);
+                q.push_back(nb.node);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest-path hop distance between two nodes, if connected.
+pub fn shortest_path_len(g: &TemporalGraph, a: NodeId, b: NodeId) -> Option<u32> {
+    if a == b {
+        return Some(0);
+    }
+    let mut dist: Vec<Option<u32>> = vec![None; g.num_nodes()];
+    let mut q = VecDeque::new();
+    dist[a.index()] = Some(0);
+    q.push_back(a);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.index()].expect("queued node has a distance");
+        for nb in g.neighbors(u) {
+            if dist[nb.node.index()].is_none() {
+                if nb.node == b {
+                    return Some(du + 1);
+                }
+                dist[nb.node.index()] = Some(du + 1);
+                q.push_back(nb.node);
+            }
+        }
+    }
+    None
+}
+
+/// Nodes within `radius` hops of `start` (including `start`).
+pub fn ball(g: &TemporalGraph, start: NodeId, radius: u32) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut dist: Vec<Option<u32>> = vec![None; g.num_nodes()];
+    let mut q = VecDeque::new();
+    dist[start.index()] = Some(0);
+    q.push_back(start);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.index()].expect("queued node has a distance");
+        out.push(u);
+        if du == radius {
+            continue;
+        }
+        for nb in g.neighbors(u) {
+            if dist[nb.node.index()].is_none() {
+                dist[nb.node.index()] = Some(du + 1);
+                q.push_back(nb.node);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Timestamp;
+
+    fn path_graph(n: usize) -> TemporalGraph {
+        let mut g = TemporalGraph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge(NodeId(i as u32 - 1), NodeId(i as u32), Timestamp::ZERO)
+                .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_visits_component_in_order() {
+        let g = path_graph(4);
+        assert_eq!(
+            bfs_order(&g, NodeId(0)),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(
+            bfs_order(&g, NodeId(2)),
+            vec![NodeId(2), NodeId(1), NodeId(3), NodeId(0)]
+        );
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path_graph(4);
+        assert_eq!(
+            distances(&g, NodeId(0)),
+            vec![Some(0), Some(1), Some(2), Some(3)]
+        );
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = path_graph(3);
+        g.add_node(); // isolated node 3
+        assert_eq!(distances(&g, NodeId(0))[3], None);
+        assert_eq!(shortest_path_len(&g, NodeId(0), NodeId(3)), None);
+    }
+
+    #[test]
+    fn shortest_path_cases() {
+        let g = path_graph(5);
+        assert_eq!(shortest_path_len(&g, NodeId(0), NodeId(0)), Some(0));
+        assert_eq!(shortest_path_len(&g, NodeId(0), NodeId(4)), Some(4));
+        assert_eq!(shortest_path_len(&g, NodeId(3), NodeId(1)), Some(2));
+    }
+
+    #[test]
+    fn ball_respects_radius() {
+        let g = path_graph(6);
+        let mut b = ball(&g, NodeId(2), 1);
+        b.sort_unstable();
+        assert_eq!(b, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        let mut b2 = ball(&g, NodeId(0), 2);
+        b2.sort_unstable();
+        assert_eq!(b2, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(ball(&g, NodeId(0), 0), vec![NodeId(0)]);
+    }
+}

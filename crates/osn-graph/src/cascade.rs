@@ -1,0 +1,166 @@
+//! Independent-cascade diffusion.
+//!
+//! The paper's motivation is Sybils "spamming advertisements": Renren's
+//! most popular activity is sharing blog entries, "forwarded across
+//! multiple social hops much like retweets" (§2.1). The reach of a Sybil
+//! campaign is therefore a diffusion process seeded at the Sybils'
+//! friends. This module implements the standard independent-cascade model
+//! over a [`TemporalGraph`]: each newly-activated node gets one chance to
+//! activate each neighbor with probability `p`.
+
+use crate::graph::{NodeId, TemporalGraph};
+use rand::prelude::*;
+use std::collections::VecDeque;
+
+/// Outcome of one cascade.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CascadeResult {
+    /// All activated nodes, in activation order (seeds first).
+    pub activated: Vec<NodeId>,
+    /// Hop distance from the seed set per activated node (parallel to
+    /// `activated`; seeds are hop 0).
+    pub hops: Vec<u32>,
+}
+
+impl CascadeResult {
+    /// Number of activated nodes (including seeds).
+    pub fn reach(&self) -> usize {
+        self.activated.len()
+    }
+
+    /// Maximum hop distance reached.
+    pub fn depth(&self) -> u32 {
+        self.hops.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Run one independent cascade from `seeds` with forwarding probability
+/// `p`. Duplicate seeds are ignored; out-of-range seeds panic.
+pub fn independent_cascade<R: Rng + ?Sized>(
+    g: &TemporalGraph,
+    seeds: &[NodeId],
+    p: f64,
+    rng: &mut R,
+) -> CascadeResult {
+    let p = p.clamp(0.0, 1.0);
+    let mut active = vec![false; g.num_nodes()];
+    let mut result = CascadeResult {
+        activated: Vec::new(),
+        hops: Vec::new(),
+    };
+    let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();
+    for &s in seeds {
+        assert!(g.contains_node(s), "seed out of range");
+        if !active[s.index()] {
+            active[s.index()] = true;
+            result.activated.push(s);
+            result.hops.push(0);
+            queue.push_back((s, 0));
+        }
+    }
+    while let Some((u, hop)) = queue.pop_front() {
+        for nb in g.neighbors(u) {
+            if !active[nb.node.index()] && rng.random_range(0.0..1.0) < p {
+                active[nb.node.index()] = true;
+                result.activated.push(nb.node);
+                result.hops.push(hop + 1);
+                queue.push_back((nb.node, hop + 1));
+            }
+        }
+    }
+    result
+}
+
+/// Mean reach over `trials` cascades (reseeding the process each time).
+pub fn expected_reach<R: Rng + ?Sized>(
+    g: &TemporalGraph,
+    seeds: &[NodeId],
+    p: f64,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    if trials == 0 {
+        return 0.0;
+    }
+    (0..trials)
+        .map(|_| independent_cascade(g, seeds, p, rng).reach())
+        .sum::<usize>() as f64
+        / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Timestamp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path(n: usize) -> TemporalGraph {
+        let mut g = TemporalGraph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge(NodeId(i as u32 - 1), NodeId(i as u32), Timestamp::ZERO)
+                .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn p_zero_reaches_only_seeds() {
+        let g = path(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = independent_cascade(&g, &[NodeId(2)], 0.0, &mut rng);
+        assert_eq!(r.activated, vec![NodeId(2)]);
+        assert_eq!(r.reach(), 1);
+        assert_eq!(r.depth(), 0);
+    }
+
+    #[test]
+    fn p_one_floods_the_component() {
+        let g = path(6);
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = independent_cascade(&g, &[NodeId(0)], 1.0, &mut rng);
+        assert_eq!(r.reach(), 6);
+        assert_eq!(r.depth(), 5);
+        // Hops equal BFS distance on p=1.
+        for (n, h) in r.activated.iter().zip(&r.hops) {
+            assert_eq!(*h, n.0);
+        }
+    }
+
+    #[test]
+    fn duplicate_seeds_counted_once() {
+        let g = path(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = independent_cascade(&g, &[NodeId(1), NodeId(1)], 0.0, &mut rng);
+        assert_eq!(r.reach(), 1);
+    }
+
+    #[test]
+    fn reach_grows_with_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::barabasi_albert(500, 3, Timestamp::ZERO, &mut rng);
+        let seeds = [NodeId(5)];
+        let low = expected_reach(&g, &seeds, 0.02, 200, &mut rng);
+        let high = expected_reach(&g, &seeds, 0.3, 200, &mut rng);
+        assert!(
+            high > 3.0 * low,
+            "reach must grow with p: {low} -> {high}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "seed out of range")]
+    fn bad_seed_panics() {
+        let g = path(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        independent_cascade(&g, &[NodeId(9)], 0.5, &mut rng);
+    }
+
+    #[test]
+    fn zero_trials_reach_zero() {
+        let g = path(3);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(expected_reach(&g, &[NodeId(0)], 0.5, 0, &mut rng), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! CSV edge-list import/export.
+//!
+//! Interchange format so simulated graphs can be inspected with external
+//! tooling (or real edge lists replayed through the pipeline). Format:
+//! a header line `src,dst,time_secs` followed by one edge per line.
+
+use crate::graph::{NodeId, TemporalGraph, Timestamp};
+use std::io::{self, BufRead, Write};
+
+/// Write `g` as a CSV edge list.
+pub fn write_edge_list<W: Write>(g: &TemporalGraph, mut w: W) -> io::Result<()> {
+    writeln!(w, "src,dst,time_secs")?;
+    for e in g.edges() {
+        writeln!(w, "{},{},{}", e.a.0, e.b.0, e.time.as_secs())?;
+    }
+    Ok(())
+}
+
+/// Errors from [`read_edge_list`].
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line was malformed; carries the 1-based line number and content.
+    Parse(usize, String),
+    /// An edge was invalid (self-loop or duplicate).
+    BadEdge(usize, String),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "io error: {e}"),
+            ReadError::Parse(l, s) => write!(f, "parse error on line {l}: {s:?}"),
+            ReadError::BadEdge(l, s) => write!(f, "invalid edge on line {l}: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Read a CSV edge list (as written by [`write_edge_list`]); node count is
+/// inferred as `max id + 1`. An optional header line is skipped.
+pub fn read_edge_list<R: BufRead>(r: R) -> Result<TemporalGraph, ReadError> {
+    let mut rows: Vec<(u32, u32, u64)> = Vec::new();
+    let mut max_id = 0u32;
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (i == 0 && trimmed.starts_with("src")) {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let parse = |s: Option<&str>| -> Option<u64> { s?.trim().parse().ok() };
+        let (a, b, t) = match (
+            parse(parts.next()),
+            parse(parts.next()),
+            parse(parts.next()),
+        ) {
+            (Some(a), Some(b), Some(t)) if a <= u32::MAX as u64 && b <= u32::MAX as u64 => {
+                (a as u32, b as u32, t)
+            }
+            _ => return Err(ReadError::Parse(i + 1, line.clone())),
+        };
+        max_id = max_id.max(a).max(b);
+        rows.push((a, b, t));
+    }
+    let mut g = TemporalGraph::with_nodes(if rows.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
+    for (i, (a, b, t)) in rows.into_iter().enumerate() {
+        g.add_edge(NodeId(a), NodeId(b), Timestamp(t))
+            .map_err(|e| ReadError::BadEdge(i + 2, e.to_string()))?;
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TemporalGraph {
+        let mut g = TemporalGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), Timestamp(10)).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), Timestamp(20)).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), Timestamp(30)).unwrap();
+        g
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g2.num_nodes(), 4);
+        assert_eq!(g2.num_edges(), 3);
+        for e in g.edges() {
+            assert!(g2.has_edge(e.a, e.b));
+        }
+        // Times preserved.
+        assert_eq!(g2.edges()[0].time, Timestamp(10));
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let data = "0,1,5\n1,2,6\n";
+        let g = read_edge_list(data.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_nodes(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        let g2 = read_edge_list("src,dst,time_secs\n".as_bytes()).unwrap();
+        assert_eq!(g2.num_nodes(), 0);
+    }
+
+    #[test]
+    fn malformed_line_errors() {
+        let err = read_edge_list("0,1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadError::Parse(1, _)));
+        let err2 = read_edge_list("a,b,c\n".as_bytes()).unwrap_err();
+        assert!(matches!(err2, ReadError::Parse(1, _)));
+    }
+
+    #[test]
+    fn self_loop_errors() {
+        let err = read_edge_list("3,3,0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadError::BadEdge(_, _)));
+    }
+
+    #[test]
+    fn duplicate_errors() {
+        let err = read_edge_list("0,1,0\n1,0,5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadError::BadEdge(_, _)));
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let g = read_edge_list(" 0 , 1 , 7 \n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edges()[0].time, Timestamp(7));
+    }
+}

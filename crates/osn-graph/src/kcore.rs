@@ -1,0 +1,149 @@
+//! k-core decomposition.
+//!
+//! The core number of a node is the largest `k` such that the node belongs
+//! to a maximal subgraph of minimum degree `k`. Sybil-detection literature
+//! uses coreness both as a spam feature and to characterize how deeply
+//! fake accounts embed into the graph: the paper's integrated Sybils reach
+//! far higher cores than an injected cluster's periphery would.
+
+use crate::graph::{NodeId, TemporalGraph};
+
+/// Core number of every node (Batagelj–Zaveršnik peeling, `O(n + m)`).
+pub fn core_numbers(g: &TemporalGraph) -> Vec<u32> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<usize> = (0..n).map(|i| g.degree(NodeId(i as u32))).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    // Bucket sort nodes by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bin[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0usize; n];
+    for v in 0..n {
+        pos[v] = bin[degree[v]];
+        vert[pos[v]] = v;
+        bin[degree[v]] += 1;
+    }
+    // Restore bin starts.
+    for d in (1..bin.len()).rev() {
+        bin[d] = bin[d - 1];
+    }
+    bin[0] = 0;
+    // Peel.
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = vert[i];
+        core[v] = degree[v] as u32;
+        for nb in g.neighbors(NodeId(v as u32)) {
+            let u = nb.node.index();
+            if degree[u] > degree[v] {
+                // Move u one bucket down.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u != w {
+                    pos[u] = pw;
+                    vert[pu] = w;
+                    pos[w] = pu;
+                    vert[pw] = u;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Nodes in the `k`-core (core number ≥ k).
+pub fn k_core(g: &TemporalGraph, k: u32) -> Vec<NodeId> {
+    core_numbers(g)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c >= k)
+        .map(|(i, _)| NodeId(i as u32))
+        .collect()
+}
+
+/// Degeneracy: the largest k with a non-empty k-core.
+pub fn degeneracy(g: &TemporalGraph) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Timestamp;
+
+    fn t() -> Timestamp {
+        Timestamp::ZERO
+    }
+
+    #[test]
+    fn clique_core_is_size_minus_one() {
+        let mut g = TemporalGraph::with_nodes(5);
+        for i in 0..5u32 {
+            for j in (i + 1)..5u32 {
+                g.add_edge(NodeId(i), NodeId(j), t()).unwrap();
+            }
+        }
+        assert_eq!(core_numbers(&g), vec![4; 5]);
+        assert_eq!(degeneracy(&g), 4);
+        assert_eq!(k_core(&g, 4).len(), 5);
+        assert!(k_core(&g, 5).is_empty());
+    }
+
+    #[test]
+    fn path_core_is_one() {
+        let mut g = TemporalGraph::with_nodes(4);
+        for i in 1..4u32 {
+            g.add_edge(NodeId(i - 1), NodeId(i), t()).unwrap();
+        }
+        assert_eq!(core_numbers(&g), vec![1; 4]);
+    }
+
+    #[test]
+    fn clique_with_pendant() {
+        // Triangle 0-1-2 plus pendant 3 attached to 0.
+        let mut g = TemporalGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), t()).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), t()).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), t()).unwrap();
+        g.add_edge(NodeId(0), NodeId(3), t()).unwrap();
+        assert_eq!(core_numbers(&g), vec![2, 2, 2, 1]);
+        assert_eq!(k_core(&g, 2), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_zero_core() {
+        let g = TemporalGraph::with_nodes(3);
+        assert_eq!(core_numbers(&g), vec![0, 0, 0]);
+        assert_eq!(degeneracy(&g), 0);
+        assert!(core_numbers(&TemporalGraph::new()).is_empty());
+    }
+
+    #[test]
+    fn core_at_most_degree() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = crate::generators::barabasi_albert(300, 3, t(), &mut rng);
+        let cores = core_numbers(&g);
+        for v in g.nodes() {
+            assert!(cores[v.index()] as usize <= g.degree(v));
+        }
+        // BA(m=3) has a 3-core (every late node attaches 3 edges).
+        assert!(degeneracy(&g) >= 3);
+    }
+}

@@ -1,0 +1,283 @@
+//! Cut and community metrics.
+//!
+//! The core assumption the paper tests is that Sybil regions are separated
+//! from the honest region by a *small edge cut* (few attack edges relative
+//! to internal Sybil edges). These helpers quantify exactly that: internal
+//! vs. crossing edge counts, conductance, and the audience (distinct honest
+//! neighbors) of a node set — the quantities of Table 2 and Fig. 7.
+
+use crate::graph::{NodeId, TemporalGraph};
+use std::collections::HashSet;
+
+/// Edge statistics of a node set `S` within graph `g`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CutStats {
+    /// Edges with both endpoints in `S` (the paper's "Sybil edges" when `S`
+    /// is a Sybil component).
+    pub internal_edges: usize,
+    /// Edges with exactly one endpoint in `S` (the paper's "attack edges").
+    pub crossing_edges: usize,
+    /// Distinct outside endpoints of crossing edges (Table 2's "Audience").
+    pub audience: usize,
+}
+
+/// Compute [`CutStats`] for the node set `set`.
+pub fn cut_stats(g: &TemporalGraph, set: &[NodeId]) -> CutStats {
+    let members: HashSet<NodeId> = set.iter().copied().collect();
+    let mut internal = 0usize;
+    let mut crossing = 0usize;
+    let mut audience: HashSet<NodeId> = HashSet::new();
+    for &n in &members {
+        for nb in g.neighbors(n) {
+            if members.contains(&nb.node) {
+                internal += 1; // counted from both sides; halve below
+            } else {
+                crossing += 1;
+                audience.insert(nb.node);
+            }
+        }
+    }
+    CutStats {
+        internal_edges: internal / 2,
+        crossing_edges: crossing,
+        audience: audience.len(),
+    }
+}
+
+/// Conductance of `S`: `cut(S) / min(vol(S), vol(V \ S))`, in `[0, 1]`.
+/// Lower conductance = better-separated community. Returns `None` when
+/// either side has zero volume.
+pub fn conductance(g: &TemporalGraph, set: &[NodeId]) -> Option<f64> {
+    let members: HashSet<NodeId> = set.iter().copied().collect();
+    let mut vol_s = 0usize;
+    let mut cut = 0usize;
+    for &n in &members {
+        vol_s += g.degree(n);
+        for nb in g.neighbors(n) {
+            if !members.contains(&nb.node) {
+                cut += 1;
+            }
+        }
+    }
+    let vol_rest = g.volume().checked_sub(vol_s)?;
+    let denom = vol_s.min(vol_rest);
+    if denom == 0 {
+        None
+    } else {
+        Some(cut as f64 / denom as f64)
+    }
+}
+
+/// Number of edges crossing between `a_set` and `b_set` (assumed disjoint).
+pub fn edges_between(g: &TemporalGraph, a_set: &[NodeId], b_set: &[NodeId]) -> usize {
+    let b: HashSet<NodeId> = b_set.iter().copied().collect();
+    let mut count = 0usize;
+    for &n in a_set {
+        for nb in g.neighbors(n) {
+            if b.contains(&nb.node) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Newman modularity of a two-way partition given by `in_part`
+/// (true = community 1). Diagnostic for injected-community null models.
+pub fn two_way_modularity<F>(g: &TemporalGraph, in_part: F) -> f64
+where
+    F: Fn(NodeId) -> bool,
+{
+    let m = g.num_edges() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let mut internal = [0f64; 2];
+    let mut vol = [0f64; 2];
+    for e in g.edges() {
+        let (pa, pb) = (in_part(e.a) as usize, in_part(e.b) as usize);
+        if pa == pb {
+            internal[pa] += 1.0;
+        }
+    }
+    for n in g.nodes() {
+        vol[in_part(n) as usize] += g.degree(n) as f64;
+    }
+    (0..2)
+        .map(|c| internal[c] / m - (vol[c] / (2.0 * m)).powi(2))
+        .sum()
+}
+
+/// Rich-club coefficient φ(k): the edge density among nodes of degree
+/// > k. A φ(k) near 1 for large k means the popular core is a near-clique
+/// > — the effect that inflates simulated Sybils' clustering relative to
+/// > Renren scale (see EXPERIMENTS.md). `None` when fewer than two nodes
+/// > exceed `k`.
+pub fn rich_club_coefficient(g: &TemporalGraph, k: usize) -> Option<f64> {
+    let rich: Vec<NodeId> = g.nodes().filter(|&n| g.degree(n) > k).collect();
+    if rich.len() < 2 {
+        return None;
+    }
+    let members: HashSet<NodeId> = rich.iter().copied().collect();
+    let mut internal = 0usize;
+    for &n in &rich {
+        for nb in g.neighbors(n) {
+            if members.contains(&nb.node) {
+                internal += 1;
+            }
+        }
+    }
+    let pairs = rich.len() * (rich.len() - 1) / 2;
+    Some((internal / 2) as f64 / pairs as f64)
+}
+
+/// Degree assortativity: the Pearson correlation of endpoint degrees over
+/// all edges. Positive on social graphs (popular users befriend popular
+/// users), negative on hub-and-spoke topologies. `None` with < 2 edges or
+/// zero variance.
+pub fn degree_assortativity(g: &TemporalGraph) -> Option<f64> {
+    let m = g.num_edges();
+    if m < 2 {
+        return None;
+    }
+    // Treat each edge as two ordered pairs so the measure is symmetric.
+    let mut sum_x = 0.0;
+    let mut sum_xx = 0.0;
+    let mut sum_xy = 0.0;
+    let n = (2 * m) as f64;
+    for e in g.edges() {
+        let (da, db) = (g.degree(e.a) as f64, g.degree(e.b) as f64);
+        sum_x += da + db;
+        sum_xx += da * da + db * db;
+        sum_xy += 2.0 * da * db;
+    }
+    let mean = sum_x / n;
+    let var = sum_xx / n - mean * mean;
+    if var <= 1e-12 {
+        return None;
+    }
+    let cov = sum_xy / n - mean * mean;
+    Some(cov / var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Timestamp;
+
+    /// Two triangles joined by a single bridge edge 2-3.
+    fn barbell() -> TemporalGraph {
+        let mut g = TemporalGraph::with_nodes(6);
+        let t = Timestamp::ZERO;
+        g.add_edge(NodeId(0), NodeId(1), t).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), t).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), t).unwrap();
+        g.add_edge(NodeId(3), NodeId(4), t).unwrap();
+        g.add_edge(NodeId(4), NodeId(5), t).unwrap();
+        g.add_edge(NodeId(3), NodeId(5), t).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), t).unwrap();
+        g
+    }
+
+    #[test]
+    fn cut_stats_of_half_barbell() {
+        let g = barbell();
+        let s = cut_stats(&g, &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(s.internal_edges, 3);
+        assert_eq!(s.crossing_edges, 1);
+        assert_eq!(s.audience, 1);
+    }
+
+    #[test]
+    fn cut_stats_empty_set() {
+        let g = barbell();
+        assert_eq!(cut_stats(&g, &[]), CutStats::default());
+    }
+
+    #[test]
+    fn conductance_of_good_community_is_low() {
+        let g = barbell();
+        let phi = conductance(&g, &[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        // vol(S)=7, cut=1 -> 1/7.
+        assert!((phi - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_none_for_trivial_sets() {
+        let g = barbell();
+        assert_eq!(conductance(&g, &[]), None);
+        let all: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(conductance(&g, &all), None);
+    }
+
+    #[test]
+    fn edges_between_counts_bridge() {
+        let g = barbell();
+        let a = [NodeId(0), NodeId(1), NodeId(2)];
+        let b = [NodeId(3), NodeId(4), NodeId(5)];
+        assert_eq!(edges_between(&g, &a, &b), 1);
+        assert_eq!(edges_between(&g, &b, &a), 1);
+    }
+
+    #[test]
+    fn modularity_positive_for_true_split() {
+        let g = barbell();
+        let q = two_way_modularity(&g, |n| n.0 <= 2);
+        assert!(q > 0.3, "modularity {q}");
+        // A random-ish split scores worse.
+        let q_bad = two_way_modularity(&g, |n| n.0 % 2 == 0);
+        assert!(q > q_bad);
+    }
+
+    #[test]
+    fn modularity_empty_graph_zero() {
+        let g = TemporalGraph::with_nodes(4);
+        assert_eq!(two_way_modularity(&g, |n| n.0 < 2), 0.0);
+    }
+
+    #[test]
+    fn rich_club_of_clique_plus_pendants() {
+        // 4-clique (degrees >= 3) plus pendants on node 0.
+        let mut g = TemporalGraph::with_nodes(7);
+        let t = Timestamp::ZERO;
+        for i in 0..4u32 {
+            for j in (i + 1)..4u32 {
+                g.add_edge(NodeId(i), NodeId(j), t).unwrap();
+            }
+        }
+        g.add_edge(NodeId(0), NodeId(4), t).unwrap();
+        g.add_edge(NodeId(0), NodeId(5), t).unwrap();
+        g.add_edge(NodeId(0), NodeId(6), t).unwrap();
+        // Nodes with degree > 2: the clique (deg 3,3,3 and 6). Fully linked.
+        assert_eq!(rich_club_coefficient(&g, 2), Some(1.0));
+        // Degree > 5: only node 0 -> undefined.
+        assert_eq!(rich_club_coefficient(&g, 5), None);
+    }
+
+    #[test]
+    fn assortativity_signs() {
+        // Star: hub joins only leaves -> strongly disassortative.
+        let mut star = TemporalGraph::with_nodes(6);
+        for i in 1..6u32 {
+            star.add_edge(NodeId(0), NodeId(i), Timestamp::ZERO).unwrap();
+        }
+        // All endpoint degree pairs are (5,1): zero variance on neither
+        // side... combined variance exists; correlation is -1.
+        let r = degree_assortativity(&star).unwrap();
+        assert!(r < -0.99, "star assortativity {r}");
+        // Regular ring: all degrees equal -> undefined (no variance).
+        let mut ring = TemporalGraph::with_nodes(5);
+        for i in 0..5u32 {
+            ring.add_edge(NodeId(i), NodeId((i + 1) % 5), Timestamp::ZERO)
+                .unwrap();
+        }
+        assert_eq!(degree_assortativity(&ring), None);
+    }
+
+    #[test]
+    fn assortativity_none_for_tiny_graphs() {
+        let mut g = TemporalGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), Timestamp::ZERO).unwrap();
+        assert_eq!(degree_assortativity(&g), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Sampled path-length statistics.
+//!
+//! Renren-scale graphs make exact all-pairs distances impractical; the
+//! standard estimator samples BFS sources. Used by the graph census to
+//! show that simulated networks have the small-world distances real OSNs
+//! do (Wilson et al. report ~5–6 hops for Renren-era social graphs).
+
+use crate::bfs;
+use crate::graph::{NodeId, TemporalGraph};
+use rand::prelude::*;
+
+/// Path-length estimates from sampled BFS sources.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathStats {
+    /// Mean hop distance over all sampled reachable pairs.
+    pub mean_distance: f64,
+    /// Largest distance observed (a lower bound on the diameter).
+    pub diameter_lower_bound: u32,
+    /// Mean fraction of nodes reachable from a sampled source.
+    pub reachable_fraction: f64,
+    /// BFS sources sampled.
+    pub sources: usize,
+}
+
+/// Estimate path statistics from `sources` random BFS sources.
+/// Returns `None` on an empty graph.
+pub fn sample_path_stats<R: Rng + ?Sized>(
+    g: &TemporalGraph,
+    sources: usize,
+    rng: &mut R,
+) -> Option<PathStats> {
+    let n = g.num_nodes();
+    if n == 0 || sources == 0 {
+        return None;
+    }
+    let mut dist_sum = 0u64;
+    let mut dist_count = 0u64;
+    let mut max_dist = 0u32;
+    let mut reach_sum = 0.0;
+    for _ in 0..sources {
+        let s = NodeId(rng.random_range(0..n as u32));
+        let dist = bfs::distances(g, s);
+        let mut reachable = 0usize;
+        for d in dist.into_iter().flatten() {
+            reachable += 1;
+            dist_sum += d as u64;
+            dist_count += 1;
+            max_dist = max_dist.max(d);
+        }
+        reach_sum += reachable as f64 / n as f64;
+    }
+    Some(PathStats {
+        mean_distance: if dist_count == 0 {
+            0.0
+        } else {
+            dist_sum as f64 / dist_count as f64
+        },
+        diameter_lower_bound: max_dist,
+        reachable_fraction: reach_sum / sources as f64,
+        sources,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Timestamp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_graph_statistics() {
+        // 0-1-2-3-4 path: from each source all nodes reachable.
+        let mut g = TemporalGraph::with_nodes(5);
+        for i in 1..5u32 {
+            g.add_edge(NodeId(i - 1), NodeId(i), Timestamp::ZERO).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_path_stats(&g, 50, &mut rng).unwrap();
+        assert_eq!(s.reachable_fraction, 1.0);
+        assert_eq!(s.diameter_lower_bound, 4);
+        assert!(s.mean_distance > 1.0 && s.mean_distance < 3.0);
+    }
+
+    #[test]
+    fn ba_graph_is_small_world() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::barabasi_albert(2000, 4, Timestamp::ZERO, &mut rng);
+        let s = sample_path_stats(&g, 20, &mut rng).unwrap();
+        assert!(s.reachable_fraction > 0.999);
+        assert!(
+            s.mean_distance < 6.0,
+            "BA graphs are small-world: mean {}",
+            s.mean_distance
+        );
+    }
+
+    #[test]
+    fn disconnected_reachability_below_one() {
+        let mut g = TemporalGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), Timestamp::ZERO).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), Timestamp::ZERO).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sample_path_stats(&g, 40, &mut rng).unwrap();
+        assert!((s.reachable_fraction - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(sample_path_stats(&TemporalGraph::new(), 5, &mut rng).is_none());
+        let g = TemporalGraph::with_nodes(3);
+        assert!(sample_path_stats(&g, 0, &mut rng).is_none());
+        // Isolated nodes: distances only to self.
+        let s = sample_path_stats(&g, 5, &mut rng).unwrap();
+        assert_eq!(s.mean_distance, 0.0);
+        assert!((s.reachable_fraction - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,198 @@
+//! Mixing-time diagnostics.
+//!
+//! Every defense of §3.1 assumes the honest region is *fast mixing*: short
+//! random walks reach the stationary distribution quickly, while walks
+//! into a Sybil region are throttled by the small attack cut. This module
+//! measures that property directly:
+//!
+//! * [`second_eigenvalue`] — |λ₂| of the lazy random-walk matrix via power
+//!   iteration (spectral gap `1 − |λ₂|` bounds the mixing time);
+//! * [`escape_probability`] — the empirical chance a short walk started in
+//!   a node set leaves it (near 1 for integrated Sybils, near 0 for an
+//!   injected cluster behind a small cut).
+
+use crate::graph::{NodeId, TemporalGraph};
+use rand::prelude::*;
+
+/// Estimate |λ₂| of the lazy random-walk transition matrix
+/// `W = (I + D⁻¹A)/2` by power iteration with deflation against the
+/// stationary distribution. Returns `None` for graphs with no edges.
+///
+/// The walk matrix's top eigenvalue is 1 with right-eigenvector **1**
+/// under the π-inner product; deflating against π and iterating
+/// `x ← Wx` converges to the second eigenvector. 40–80 iterations give
+/// 2-digit accuracy on 10³–10⁵-node graphs, plenty for comparing mixing
+/// regimes.
+pub fn second_eigenvalue(g: &TemporalGraph, iterations: usize, seed: u64) -> Option<f64> {
+    let n = g.num_nodes();
+    let m2 = g.volume() as f64;
+    if n < 2 || m2 == 0.0 {
+        return None;
+    }
+    let pi: Vec<f64> = (0..n)
+        .map(|i| g.degree(NodeId(i as u32)) as f64 / m2)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let mut next = vec![0.0f64; n];
+    let mut lambda = 0.0f64;
+    for _ in 0..iterations.max(2) {
+        // Deflate: remove the component along 1 (w.r.t. the π inner
+        // product): x ← x − (Σ πᵢ xᵢ) · 1.
+        let proj: f64 = pi.iter().zip(&x).map(|(&p, &v)| p * v).sum();
+        for v in x.iter_mut() {
+            *v -= proj;
+        }
+        // next = W x (lazy walk).
+        for (i, nx) in next.iter_mut().enumerate() {
+            let d = g.degree(NodeId(i as u32));
+            if d == 0 {
+                *nx = 0.5 * x[i];
+                continue;
+            }
+            let mut acc = 0.0;
+            for nb in g.neighbors(NodeId(i as u32)) {
+                acc += x[nb.node.index()];
+            }
+            *nx = 0.5 * x[i] + 0.5 * acc / d as f64;
+        }
+        // Rayleigh-style estimate and normalization (π-weighted norm).
+        let norm_x: f64 = pi.iter().zip(&x).map(|(&p, &v)| p * v * v).sum::<f64>().sqrt();
+        let norm_next: f64 = pi
+            .iter()
+            .zip(&next)
+            .map(|(&p, &v)| p * v * v)
+            .sum::<f64>()
+            .sqrt();
+        if norm_x < 1e-300 || norm_next < 1e-300 {
+            return Some(0.0);
+        }
+        lambda = norm_next / norm_x;
+        let inv = 1.0 / norm_next;
+        for (xv, nv) in x.iter_mut().zip(&next) {
+            *xv = nv * inv;
+        }
+    }
+    Some(lambda.min(1.0))
+}
+
+/// Spectral gap `1 − |λ₂|` of the lazy walk; larger = faster mixing.
+pub fn spectral_gap(g: &TemporalGraph, iterations: usize, seed: u64) -> Option<f64> {
+    second_eigenvalue(g, iterations, seed).map(|l| 1.0 - l)
+}
+
+/// Empirical probability that a `len`-step walk started uniformly inside
+/// `set` ends *outside* it. `trials` walks; `None` if `set` has no
+/// non-isolated members.
+pub fn escape_probability<R: Rng + ?Sized>(
+    g: &TemporalGraph,
+    set: &[NodeId],
+    len: usize,
+    trials: usize,
+    rng: &mut R,
+) -> Option<f64> {
+    let starts: Vec<NodeId> = set.iter().copied().filter(|&n| g.degree(n) > 0).collect();
+    if starts.is_empty() {
+        return None;
+    }
+    let members: std::collections::HashSet<NodeId> = set.iter().copied().collect();
+    let mut escaped = 0usize;
+    for _ in 0..trials.max(1) {
+        let start = starts[rng.random_range(0..starts.len())];
+        let end = crate::walks::walk_endpoint(g, start, len, rng);
+        if !members.contains(&end) {
+            escaped += 1;
+        }
+    }
+    Some(escaped as f64 / trials.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Timestamp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expander_has_large_gap() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::erdos_renyi(300, 0.05, Timestamp::ZERO, &mut rng);
+        let gap = spectral_gap(&g, 80, 2).unwrap();
+        assert!(gap > 0.1, "ER expander gap {gap}");
+    }
+
+    #[test]
+    fn barbell_has_tiny_gap() {
+        // Two 30-cliques joined by one edge: mixing is bottlenecked.
+        let mut g = TemporalGraph::with_nodes(60);
+        for side in 0..2u32 {
+            let base = side * 30;
+            for i in 0..30u32 {
+                for j in (i + 1)..30u32 {
+                    g.add_edge(NodeId(base + i), NodeId(base + j), Timestamp::ZERO)
+                        .unwrap();
+                }
+            }
+        }
+        g.add_edge(NodeId(0), NodeId(30), Timestamp::ZERO).unwrap();
+        let gap_bar = spectral_gap(&g, 120, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let er = generators::erdos_renyi(60, 0.3, Timestamp::ZERO, &mut rng);
+        let gap_er = spectral_gap(&er, 120, 3).unwrap();
+        assert!(
+            gap_bar < gap_er / 3.0,
+            "barbell {gap_bar} should mix far slower than ER {gap_er}"
+        );
+    }
+
+    #[test]
+    fn eigenvalue_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::barabasi_albert(200, 3, Timestamp::ZERO, &mut rng);
+        let l2 = second_eigenvalue(&g, 60, 1).unwrap();
+        assert!((0.0..=1.0).contains(&l2), "lambda2 {l2}");
+    }
+
+    #[test]
+    fn edgeless_graph_none() {
+        let g = TemporalGraph::with_nodes(5);
+        assert_eq!(second_eigenvalue(&g, 10, 1), None);
+    }
+
+    #[test]
+    fn escape_probability_contrasts_cut_sizes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Tight region: 40-clique with 2 external edges.
+        let mut g = generators::barabasi_albert(400, 4, Timestamp::ZERO, &mut rng);
+        let first = g.add_nodes(40);
+        for i in 0..40u32 {
+            for j in (i + 1)..40u32 {
+                g.add_edge(NodeId(first.0 + i), NodeId(first.0 + j), Timestamp::ZERO)
+                    .unwrap();
+            }
+        }
+        g.add_edge(NodeId(0), NodeId(first.0), Timestamp::ZERO).unwrap();
+        g.add_edge(NodeId(1), NodeId(first.0 + 1), Timestamp::ZERO).unwrap();
+        let tight: Vec<NodeId> = (0..40).map(|i| NodeId(first.0 + i)).collect();
+        let p_tight = escape_probability(&g, &tight, 8, 2000, &mut rng).unwrap();
+        // Integrated set: 40 random honest nodes.
+        let spread: Vec<NodeId> = (0..40).map(NodeId).collect();
+        let p_spread = escape_probability(&g, &spread, 8, 2000, &mut rng).unwrap();
+        assert!(
+            p_tight + 0.3 < p_spread,
+            "tight {p_tight} vs spread {p_spread}"
+        );
+    }
+
+    #[test]
+    fn escape_probability_none_for_isolated() {
+        let g = TemporalGraph::with_nodes(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            escape_probability(&g, &[NodeId(0)], 4, 10, &mut rng),
+            None
+        );
+    }
+}

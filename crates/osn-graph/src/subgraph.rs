@@ -1,0 +1,135 @@
+//! Induced subgraphs with node re-indexing.
+//!
+//! The defenses operate on the full graph, but several analyses (the Sybil
+//! region of §3.3, the giant component of Figs. 8–9) work on an induced
+//! subgraph. [`InducedSubgraph`] materializes one, preserving edge creation
+//! times and keeping a bidirectional node mapping.
+
+use crate::graph::{NodeId, TemporalGraph};
+use std::collections::HashMap;
+
+/// A subgraph induced by a node subset, re-indexed to dense ids, together
+/// with the mapping back to the original graph.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The materialized subgraph; node `i` corresponds to
+    /// `original_of[i]` in the parent graph.
+    pub graph: TemporalGraph,
+    /// Subgraph id → original id.
+    pub original_of: Vec<NodeId>,
+    /// Original id → subgraph id.
+    pub sub_of: HashMap<NodeId, NodeId>,
+}
+
+impl InducedSubgraph {
+    /// Build the subgraph of `g` induced by `nodes` (duplicates ignored).
+    ///
+    /// Edges are copied in the parent's global creation order, so per-node
+    /// chronological adjacency order is preserved.
+    pub fn new(g: &TemporalGraph, nodes: &[NodeId]) -> Self {
+        let mut original_of: Vec<NodeId> = Vec::with_capacity(nodes.len());
+        let mut sub_of: HashMap<NodeId, NodeId> = HashMap::with_capacity(nodes.len());
+        for &n in nodes {
+            if let std::collections::hash_map::Entry::Vacant(e) = sub_of.entry(n) {
+                let id = NodeId(original_of.len() as u32);
+                e.insert(id);
+                original_of.push(n);
+            }
+        }
+        let mut graph = TemporalGraph::with_nodes(original_of.len());
+        for e in g.edges() {
+            if let (Some(&a), Some(&b)) = (sub_of.get(&e.a), sub_of.get(&e.b)) {
+                graph
+                    .add_edge(a, b, e.time)
+                    .expect("parent graph has no duplicates");
+            }
+        }
+        InducedSubgraph {
+            graph,
+            original_of,
+            sub_of,
+        }
+    }
+
+    /// Original node id of subgraph node `n`.
+    pub fn to_original(&self, n: NodeId) -> NodeId {
+        self.original_of[n.index()]
+    }
+
+    /// Subgraph node id of original node `n`, if included.
+    pub fn to_sub(&self, n: NodeId) -> Option<NodeId> {
+        self.sub_of.get(&n).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Timestamp;
+
+    fn t(h: u64) -> Timestamp {
+        Timestamp::from_hours(h)
+    }
+
+    fn sample_graph() -> TemporalGraph {
+        let mut g = TemporalGraph::with_nodes(5);
+        g.add_edge(NodeId(0), NodeId(1), t(1)).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), t(2)).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), t(3)).unwrap();
+        g.add_edge(NodeId(3), NodeId(4), t(4)).unwrap();
+        g.add_edge(NodeId(0), NodeId(4), t(5)).unwrap();
+        g
+    }
+
+    #[test]
+    fn induces_only_internal_edges() {
+        let g = sample_graph();
+        let s = InducedSubgraph::new(&g, &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(s.graph.num_nodes(), 3);
+        assert_eq!(s.graph.num_edges(), 2); // 0-1 and 1-2
+        let a = s.to_sub(NodeId(0)).unwrap();
+        let b = s.to_sub(NodeId(1)).unwrap();
+        assert!(s.graph.has_edge(a, b));
+        assert_eq!(s.to_sub(NodeId(4)), None);
+    }
+
+    #[test]
+    fn mapping_roundtrip() {
+        let g = sample_graph();
+        let nodes = [NodeId(3), NodeId(1), NodeId(4)];
+        let s = InducedSubgraph::new(&g, &nodes);
+        for &n in &nodes {
+            let sub = s.to_sub(n).unwrap();
+            assert_eq!(s.to_original(sub), n);
+        }
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let g = sample_graph();
+        let s = InducedSubgraph::new(&g, &[NodeId(2), NodeId(2), NodeId(3)]);
+        assert_eq!(s.graph.num_nodes(), 2);
+        assert_eq!(s.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn preserves_edge_times_and_order() {
+        let g = sample_graph();
+        let s = InducedSubgraph::new(&g, &[NodeId(0), NodeId(1), NodeId(4)]);
+        // Internal edges: 0-1 (t1) then 0-4 (t5) — in that creation order.
+        let zero = s.to_sub(NodeId(0)).unwrap();
+        let nb = s.graph.neighbors(zero);
+        assert_eq!(nb.len(), 2);
+        assert!(nb[0].time < nb[1].time);
+        assert_eq!(nb[0].time, t(1));
+        assert_eq!(nb[1].time, t(5));
+    }
+
+    #[test]
+    fn empty_subset() {
+        let g = sample_graph();
+        let s = InducedSubgraph::new(&g, &[]);
+        assert_eq!(s.graph.num_nodes(), 0);
+        assert_eq!(s.graph.num_edges(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Account records: ground-truth kind, profile, lifecycle.
+
+use crate::profile::Profile;
+use crate::tools::ToolKind;
+use osn_graph::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth classification of an account.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccountKind {
+    /// A real user.
+    Normal,
+    /// A fake identity run by attacker `attacker` using `tool`.
+    Sybil {
+        /// Index of the controlling attacker.
+        attacker: u32,
+        /// The tool driving this account.
+        tool: ToolKind,
+    },
+}
+
+impl AccountKind {
+    /// True for Sybil accounts.
+    #[inline]
+    pub fn is_sybil(self) -> bool {
+        matches!(self, AccountKind::Sybil { .. })
+    }
+}
+
+/// One account's full simulated state, as exported after a run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Account {
+    /// Ground truth.
+    pub kind: AccountKind,
+    /// Profile attributes.
+    pub profile: Profile,
+    /// When the account was registered.
+    pub created_at: Timestamp,
+    /// When Renren banned it, if ever (only Sybils are banned in-model).
+    pub banned_at: Option<Timestamp>,
+    /// Personal acceptance tendency in `[0, 1]`: how readily this (normal)
+    /// user confirms incoming requests. Gives Fig. 3's spread. Sybils hold
+    /// 1.0 — they accept everything.
+    pub accept_tendency: f64,
+    /// Activity-rate multiplier (log-normal across users). The heavy tail
+    /// creates genuinely-popular celebrity accounts. Sybils hold 1.0; their
+    /// rate comes from the tool instead.
+    pub sociability: f64,
+}
+
+impl Account {
+    /// Whether this account is ground-truth Sybil.
+    #[inline]
+    pub fn is_sybil(&self) -> bool {
+        self.kind.is_sybil()
+    }
+
+    /// Whether the account is banned at time `t`.
+    #[inline]
+    pub fn banned_by(&self, t: Timestamp) -> bool {
+        matches!(self.banned_at, Some(b) if b <= t)
+    }
+
+    /// The controlling attacker, for Sybils.
+    pub fn attacker(&self) -> Option<u32> {
+        match self.kind {
+            AccountKind::Sybil { attacker, .. } => Some(attacker),
+            AccountKind::Normal => None,
+        }
+    }
+
+    /// The driving tool, for Sybils.
+    pub fn tool(&self) -> Option<ToolKind> {
+        match self.kind {
+            AccountKind::Sybil { tool, .. } => Some(tool),
+            AccountKind::Normal => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Gender;
+
+    fn sybil() -> Account {
+        Account {
+            kind: AccountKind::Sybil {
+                attacker: 3,
+                tool: ToolKind::MarketingAssistant,
+            },
+            profile: Profile::new(Gender::Female, 0.9),
+            created_at: Timestamp::from_hours(10),
+            banned_at: Some(Timestamp::from_hours(100)),
+            accept_tendency: 1.0,
+            sociability: 1.0,
+        }
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(sybil().is_sybil());
+        assert!(AccountKind::Sybil {
+            attacker: 0,
+            tool: ToolKind::AlmightyAssistant
+        }
+        .is_sybil());
+        assert!(!AccountKind::Normal.is_sybil());
+    }
+
+    #[test]
+    fn ban_boundary() {
+        let s = sybil();
+        assert!(!s.banned_by(Timestamp::from_hours(99)));
+        assert!(s.banned_by(Timestamp::from_hours(100)));
+        assert!(s.banned_by(Timestamp::from_hours(101)));
+    }
+
+    #[test]
+    fn attacker_and_tool_accessors() {
+        let s = sybil();
+        assert_eq!(s.attacker(), Some(3));
+        assert_eq!(s.tool(), Some(ToolKind::MarketingAssistant));
+        let n = Account {
+            kind: AccountKind::Normal,
+            ..sybil()
+        };
+        assert_eq!(n.attacker(), None);
+        assert_eq!(n.tool(), None);
+    }
+}

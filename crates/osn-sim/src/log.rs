@@ -1,0 +1,139 @@
+//! The append-only friend-request log and its per-account indices.
+
+use crate::request::{RequestOutcome, RequestRecord};
+use osn_graph::{NodeId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Append-only log of every friend request in a simulation, in send order.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RequestLog {
+    records: Vec<RequestRecord>,
+}
+
+impl RequestLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of requests logged.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no requests were logged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Append a record, returning its index. Records must be appended in
+    /// nondecreasing `sent_at` order (the discrete-event engine guarantees
+    /// this); violations are caught in debug builds.
+    pub fn push(&mut self, r: RequestRecord) -> usize {
+        debug_assert!(
+            self.records.last().is_none_or(|p| p.sent_at <= r.sent_at),
+            "log must be appended in send order"
+        );
+        self.records.push(r);
+        self.records.len() - 1
+    }
+
+    /// Record the outcome of request `idx`.
+    pub fn resolve(&mut self, idx: usize, outcome: RequestOutcome) {
+        debug_assert!(matches!(self.records[idx].outcome, RequestOutcome::Pending));
+        self.records[idx].outcome = outcome;
+    }
+
+    /// All records, in send order.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// One record.
+    pub fn get(&self, idx: usize) -> &RequestRecord {
+        &self.records[idx]
+    }
+
+    /// Per-account index of *sent* requests: `index[a]` lists record
+    /// positions sent by account `a`, in time order. `n` is the number of
+    /// accounts.
+    pub fn sender_index(&self, n: usize) -> Vec<Vec<u32>> {
+        let mut idx = vec![Vec::new(); n];
+        for (i, r) in self.records.iter().enumerate() {
+            idx[r.from.index()].push(i as u32);
+        }
+        idx
+    }
+
+    /// Per-account index of *received* requests, in time order.
+    pub fn receiver_index(&self, n: usize) -> Vec<Vec<u32>> {
+        let mut idx = vec![Vec::new(); n];
+        for (i, r) in self.records.iter().enumerate() {
+            idx[r.to.index()].push(i as u32);
+        }
+        idx
+    }
+
+    /// Iterator over the timestamps of requests sent by `who` (requires the
+    /// full scan; use [`Self::sender_index`] for bulk work).
+    pub fn sent_times(&self, who: NodeId) -> impl Iterator<Item = Timestamp> + '_ {
+        self.records
+            .iter()
+            .filter(move |r| r.from == who)
+            .map(|r| r.sent_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(from: u32, to: u32, h: u64) -> RequestRecord {
+        RequestRecord {
+            from: NodeId(from),
+            to: NodeId(to),
+            sent_at: Timestamp::from_hours(h),
+            outcome: RequestOutcome::Pending,
+        }
+    }
+
+    #[test]
+    fn push_and_resolve() {
+        let mut log = RequestLog::new();
+        assert!(log.is_empty());
+        let i = log.push(rec(0, 1, 1));
+        let j = log.push(rec(1, 2, 2));
+        assert_eq!(log.len(), 2);
+        log.resolve(i, RequestOutcome::Accepted(Timestamp::from_hours(3)));
+        log.resolve(j, RequestOutcome::Rejected(Timestamp::from_hours(4)));
+        assert!(log.get(i).outcome.is_accepted());
+        assert!(!log.get(j).outcome.is_accepted());
+        assert!(log.get(j).outcome.is_resolved());
+    }
+
+    #[test]
+    fn indices_group_by_account() {
+        let mut log = RequestLog::new();
+        log.push(rec(0, 1, 1));
+        log.push(rec(0, 2, 2));
+        log.push(rec(2, 0, 3));
+        let send = log.sender_index(3);
+        assert_eq!(send[0], vec![0, 1]);
+        assert_eq!(send[1], Vec::<u32>::new());
+        assert_eq!(send[2], vec![2]);
+        let recv = log.receiver_index(3);
+        assert_eq!(recv[0], vec![2]);
+        assert_eq!(recv[1], vec![0]);
+        assert_eq!(recv[2], vec![1]);
+    }
+
+    #[test]
+    fn sent_times_filters_sender() {
+        let mut log = RequestLog::new();
+        log.push(rec(0, 1, 1));
+        log.push(rec(1, 0, 2));
+        log.push(rec(0, 2, 5));
+        let times: Vec<u64> = log.sent_times(NodeId(0)).map(|t| t.as_secs()).collect();
+        assert_eq!(times, vec![3600, 18000]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Simulation output bundle and derived summary statistics.
+
+use crate::account::Account;
+use crate::config::SimConfig;
+use crate::log::RequestLog;
+use osn_graph::{NodeId, TemporalGraph};
+use serde::{Deserialize, Serialize};
+
+/// Everything a simulation produces: the social graph, the ground-truth
+/// account table, and the full friend-request log.
+#[derive(Clone, Debug)]
+pub struct SimOutput {
+    /// The configuration that produced this output.
+    pub config: SimConfig,
+    /// Final friendship graph; node id = account index.
+    pub graph: TemporalGraph,
+    /// Ground-truth account table, indexed by node id.
+    pub accounts: Vec<Account>,
+    /// Every friend request sent during the run.
+    pub log: RequestLog,
+    /// Internal engine counters (targeting-channel diagnostics).
+    pub engine_stats: EngineStats,
+}
+
+/// Diagnostics on how Sybil tools selected their targets — the knobs
+/// behind the accidental-Sybil-edge rate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Sybil requests whose target came from the snowball ("popular") queue.
+    pub popular_requests: usize,
+    /// Sybil requests whose target came from bulk browsing.
+    pub bulk_requests: usize,
+    /// Popular-queue targets that were themselves Sybils.
+    pub popular_sybil_targets: usize,
+    /// Bulk targets that were themselves Sybils.
+    pub bulk_sybil_targets: usize,
+    /// Snowball refills performed.
+    pub refills: usize,
+}
+
+/// Aggregate counters summarizing a run (computed on demand).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total friend requests sent.
+    pub requests: usize,
+    /// Requests sent by Sybils.
+    pub sybil_requests: usize,
+    /// Requests that were accepted.
+    pub accepted: usize,
+    /// Sybil-sent requests that were accepted.
+    pub sybil_accepted: usize,
+    /// Total edges in the final graph.
+    pub edges: usize,
+    /// Edges between two Sybils ("Sybil edges", §3.2).
+    pub sybil_edges: usize,
+    /// Edges between a Sybil and a normal user ("attack edges").
+    pub attack_edges: usize,
+    /// Edges between two normal users.
+    pub normal_edges: usize,
+    /// Sybils banned by the end of the run.
+    pub banned: usize,
+}
+
+impl SimOutput {
+    /// Is account `n` ground-truth Sybil?
+    #[inline]
+    pub fn is_sybil(&self, n: NodeId) -> bool {
+        self.accounts[n.index()].is_sybil()
+    }
+
+    /// Node ids of all Sybil accounts.
+    pub fn sybil_ids(&self) -> Vec<NodeId> {
+        self.ids_where(|a| a.is_sybil())
+    }
+
+    /// Node ids of all normal accounts.
+    pub fn normal_ids(&self) -> Vec<NodeId> {
+        self.ids_where(|a| !a.is_sybil())
+    }
+
+    fn ids_where<F: Fn(&Account) -> bool>(&self, f: F) -> Vec<NodeId> {
+        self.accounts
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| f(a))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Compute aggregate counters for this run.
+    pub fn stats(&self) -> SimStats {
+        let mut s = SimStats::default();
+        for r in self.log.records() {
+            s.requests += 1;
+            let from_sybil = self.is_sybil(r.from);
+            if from_sybil {
+                s.sybil_requests += 1;
+            }
+            if r.outcome.is_accepted() {
+                s.accepted += 1;
+                if from_sybil {
+                    s.sybil_accepted += 1;
+                }
+            }
+        }
+        for e in self.graph.edges() {
+            s.edges += 1;
+            match (self.is_sybil(e.a), self.is_sybil(e.b)) {
+                (true, true) => s.sybil_edges += 1,
+                (false, false) => s.normal_edges += 1,
+                _ => s.attack_edges += 1,
+            }
+        }
+        s.banned = self
+            .accounts
+            .iter()
+            .filter(|a| a.banned_at.is_some())
+            .count();
+        s
+    }
+
+    /// Fraction of Sybils with at least one edge to another Sybil — the
+    /// paper's headline §3.2 number (~20%).
+    pub fn sybil_connectivity_fraction(&self) -> f64 {
+        let sybils = self.sybil_ids();
+        if sybils.is_empty() {
+            return 0.0;
+        }
+        let with_edge = sybils
+            .iter()
+            .filter(|&&s| {
+                self.graph
+                    .neighbors(s)
+                    .iter()
+                    .any(|nb| self.is_sybil(nb.node))
+            })
+            .count();
+        with_edge as f64 / sybils.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::AccountKind;
+    use crate::profile::{Gender, Profile};
+    use crate::request::{RequestOutcome, RequestRecord};
+    use crate::tools::ToolKind;
+    use osn_graph::Timestamp;
+
+    fn mk_output() -> SimOutput {
+        // 3 accounts: 0 normal, 1 + 2 sybils.
+        let mut graph = TemporalGraph::with_nodes(3);
+        graph
+            .add_edge(NodeId(0), NodeId(1), Timestamp::from_hours(1))
+            .unwrap();
+        graph
+            .add_edge(NodeId(1), NodeId(2), Timestamp::from_hours(2))
+            .unwrap();
+        let acct = |kind, banned| Account {
+            kind,
+            profile: Profile::new(Gender::Female, 0.5),
+            created_at: Timestamp::ZERO,
+            banned_at: banned,
+            accept_tendency: 0.7,
+            sociability: 1.0,
+        };
+        let sy = AccountKind::Sybil {
+            attacker: 0,
+            tool: ToolKind::MarketingAssistant,
+        };
+        let mut log = RequestLog::new();
+        log.push(RequestRecord {
+            from: NodeId(1),
+            to: NodeId(0),
+            sent_at: Timestamp::ZERO,
+            outcome: RequestOutcome::Accepted(Timestamp::from_hours(1)),
+        });
+        log.push(RequestRecord {
+            from: NodeId(1),
+            to: NodeId(2),
+            sent_at: Timestamp::from_hours(1),
+            outcome: RequestOutcome::Accepted(Timestamp::from_hours(2)),
+        });
+        log.push(RequestRecord {
+            from: NodeId(0),
+            to: NodeId(2),
+            sent_at: Timestamp::from_hours(2),
+            outcome: RequestOutcome::Rejected(Timestamp::from_hours(3)),
+        });
+        SimOutput {
+            config: SimConfig::tiny(0),
+            graph,
+            accounts: vec![
+                acct(AccountKind::Normal, None),
+                acct(sy, Some(Timestamp::from_hours(50))),
+                acct(sy, None),
+            ],
+            log,
+            engine_stats: EngineStats::default(),
+        }
+    }
+
+    #[test]
+    fn id_partitions() {
+        let o = mk_output();
+        assert_eq!(o.normal_ids(), vec![NodeId(0)]);
+        assert_eq!(o.sybil_ids(), vec![NodeId(1), NodeId(2)]);
+        assert!(o.is_sybil(NodeId(1)));
+        assert!(!o.is_sybil(NodeId(0)));
+    }
+
+    #[test]
+    fn stats_counts() {
+        let s = mk_output().stats();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.sybil_requests, 2);
+        assert_eq!(s.accepted, 2);
+        assert_eq!(s.sybil_accepted, 2);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.sybil_edges, 1);
+        assert_eq!(s.attack_edges, 1);
+        assert_eq!(s.normal_edges, 0);
+        assert_eq!(s.banned, 1);
+    }
+
+    #[test]
+    fn connectivity_fraction() {
+        let o = mk_output();
+        // Both sybils share the 1-2 edge -> fraction 1.0.
+        assert_eq!(o.sybil_connectivity_fraction(), 1.0);
+    }
+}

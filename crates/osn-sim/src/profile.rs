@@ -1,0 +1,66 @@
+//! Account profiles.
+//!
+//! §2.2 reports that 77.3% of ground-truth Sybils present as women (vs.
+//! 46.5% of the population) and use attractive profile photos to lure
+//! targets. Profiles carry the two attributes that matter to acceptance
+//! decisions: gender and an abstract attractiveness score.
+
+use serde::{Deserialize, Serialize};
+
+/// Profile gender.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gender {
+    /// Female-presenting profile.
+    Female,
+    /// Male-presenting profile.
+    Male,
+}
+
+impl Gender {
+    /// The opposite gender.
+    pub fn opposite(self) -> Gender {
+        match self {
+            Gender::Female => Gender::Male,
+            Gender::Male => Gender::Female,
+        }
+    }
+}
+
+/// The profile attributes that influence friend-request acceptance.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Presented gender.
+    pub gender: Gender,
+    /// Abstract attractiveness in `[0, 1]`: how compelling the profile
+    /// photo/background looks to a stranger. Sybils skew high (§2.1: "
+    /// attractive profile photos of young women or men").
+    pub attractiveness: f64,
+}
+
+impl Profile {
+    /// Construct a profile, clamping attractiveness into `[0, 1]`.
+    pub fn new(gender: Gender, attractiveness: f64) -> Self {
+        Profile {
+            gender,
+            attractiveness: attractiveness.clamp(0.0, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_gender() {
+        assert_eq!(Gender::Female.opposite(), Gender::Male);
+        assert_eq!(Gender::Male.opposite(), Gender::Female);
+    }
+
+    #[test]
+    fn attractiveness_clamped() {
+        assert_eq!(Profile::new(Gender::Male, 1.5).attractiveness, 1.0);
+        assert_eq!(Profile::new(Gender::Male, -0.2).attractiveness, 0.0);
+        assert_eq!(Profile::new(Gender::Female, 0.6).attractiveness, 0.6);
+    }
+}

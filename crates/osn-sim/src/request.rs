@@ -1,0 +1,78 @@
+//! Friend-request records — the operational log substrate.
+//!
+//! Every behavioral feature of §2.2 (invitation frequency, outgoing and
+//! incoming accept ratios) is computed from these records, exactly as the
+//! paper computes them from Renren's internal invitation logs.
+
+use osn_graph::{NodeId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Final outcome of a friend request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestOutcome {
+    /// The recipient confirmed at the given time (an edge was created).
+    Accepted(Timestamp),
+    /// The recipient declined at the given time.
+    Rejected(Timestamp),
+    /// Never answered (ignored, or the recipient was banned first).
+    Pending,
+}
+
+impl RequestOutcome {
+    /// True if the request was accepted.
+    #[inline]
+    pub fn is_accepted(self) -> bool {
+        matches!(self, RequestOutcome::Accepted(_))
+    }
+
+    /// True if the request got any answer (accept or reject).
+    #[inline]
+    pub fn is_resolved(self) -> bool {
+        !matches!(self, RequestOutcome::Pending)
+    }
+
+    /// When the request was answered, if it was.
+    pub fn decided_at(self) -> Option<Timestamp> {
+        match self {
+            RequestOutcome::Accepted(t) | RequestOutcome::Rejected(t) => Some(t),
+            RequestOutcome::Pending => None,
+        }
+    }
+}
+
+/// One friend request in the operational log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Sender.
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// When the invitation was sent.
+    pub sent_at: Timestamp,
+    /// How it ended.
+    pub outcome: RequestOutcome,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates() {
+        let t = Timestamp::from_hours(5);
+        assert!(RequestOutcome::Accepted(t).is_accepted());
+        assert!(RequestOutcome::Accepted(t).is_resolved());
+        assert!(!RequestOutcome::Rejected(t).is_accepted());
+        assert!(RequestOutcome::Rejected(t).is_resolved());
+        assert!(!RequestOutcome::Pending.is_accepted());
+        assert!(!RequestOutcome::Pending.is_resolved());
+    }
+
+    #[test]
+    fn decided_at() {
+        let t = Timestamp::from_hours(5);
+        assert_eq!(RequestOutcome::Accepted(t).decided_at(), Some(t));
+        assert_eq!(RequestOutcome::Rejected(t).decided_at(), Some(t));
+        assert_eq!(RequestOutcome::Pending.decided_at(), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale tiny|small|paper] [--seed N] [--out DIR] [EXPERIMENTS...]
+//! ```
+//!
+//! `EXPERIMENTS` defaults to `all`; valid names: `fig1` … `fig9`,
+//! `table1` … `table3`, `defenses`. Results are printed as text and
+//! written under `--out` (default `results/`) as JSON.
+
+use std::path::PathBuf;
+use sybil_repro::{defenses, deployment, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
+use sybil_repro::{mixing, reach, table1, table2, table3, zoo, Ctx, Scale};
+use sybil_stats::export;
+
+fn main() {
+    let mut scale = Scale::Small;
+    let mut seed = 1u64;
+    let mut out_dir = PathBuf::from("results");
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?}; use tiny|small|paper");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| "results".into()));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--scale tiny|small|paper] [--seed N] [--out DIR] \
+                     [fig1..fig9 table1..table3 zoo mixing deployment reach defenses | all]"
+                );
+                return;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = vec![
+            "fig1", "fig2", "fig3", "fig4", "table1", "fig5", "fig6", "table2", "fig7", "fig8",
+            "fig9", "table3", "zoo", "mixing", "deployment", "reach", "defenses",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+
+    let per_class = match scale {
+        Scale::Tiny => 50,
+        Scale::Small => 250,
+        Scale::Paper => 1000,
+    };
+
+    eprintln!("simulating scale={scale} seed={seed} ...");
+    let t0 = std::time::Instant::now();
+    let ctx = Ctx::build(scale, seed);
+    let stats = ctx.out.stats();
+    eprintln!(
+        "simulated {} accounts / {} requests / {} edges in {:.1}s \
+         (sybil edges {}, attack edges {}, banned {})",
+        ctx.out.accounts.len(),
+        stats.requests,
+        stats.edges,
+        t0.elapsed().as_secs_f64(),
+        stats.sybil_edges,
+        stats.attack_edges,
+        stats.banned
+    );
+
+    let dir = out_dir.join(format!("{scale}-seed{seed}"));
+    let save = |name: &str, json: &dyn erased::Json, text: &str| {
+        println!("{text}");
+        println!("{}", "=".repeat(78));
+        if let Err(e) = json.write(&dir.join(format!("{name}.json"))) {
+            eprintln!("warning: could not write {name}.json: {e}");
+        }
+        if let Err(e) = export::write_text(dir.join(format!("{name}.txt")), text) {
+            eprintln!("warning: could not write {name}.txt: {e}");
+        }
+    };
+
+    for e in &experiments {
+        let t = std::time::Instant::now();
+        match e.as_str() {
+            "fig1" => {
+                let r = fig1::run(&ctx, per_class);
+                save("fig1", &r, &r.render());
+            }
+            "fig2" => {
+                let r = fig2::run(&ctx, per_class);
+                save("fig2", &r, &r.render());
+            }
+            "fig3" => {
+                let r = fig3::run(&ctx, per_class);
+                save("fig3", &r, &r.render());
+            }
+            "fig4" => {
+                let r = fig4::run(&ctx, per_class);
+                save("fig4", &r, &r.render());
+            }
+            "table1" => {
+                let r = table1::run(&ctx, per_class, 5);
+                save("table1", &r, &r.render());
+            }
+            "fig5" => {
+                let r = fig5::run(&ctx);
+                save("fig5", &r, &r.render());
+            }
+            "fig6" => {
+                let r = fig6::run(&ctx);
+                save("fig6", &r, &r.render());
+            }
+            "table2" => {
+                let r = table2::run(&ctx);
+                save("table2", &r, &r.render());
+            }
+            "fig7" => {
+                let r = fig7::run(&ctx);
+                save("fig7", &r, &r.render());
+            }
+            "fig8" => {
+                let r = fig8::run(&ctx, 1000);
+                save("fig8", &r, &r.render());
+            }
+            "fig9" => {
+                let r = fig9::run(&ctx);
+                save("fig9", &r, &r.render());
+            }
+            "table3" => {
+                let r = table3::run(&ctx);
+                save("table3", &r, &r.render());
+            }
+            "zoo" => {
+                let r = zoo::run(&ctx, per_class, 5);
+                save("zoo", &r, &r.render());
+            }
+            "mixing" => {
+                let r = mixing::run(&ctx);
+                save("mixing", &r, &r.render());
+            }
+            "deployment" => {
+                let r = deployment::run(&ctx, per_class);
+                save("deployment", &r, &r.render());
+            }
+            "reach" => {
+                let trials = if matches!(scale, Scale::Paper) { 20 } else { 50 };
+                let r = reach::run(&ctx, trials);
+                save("reach", &r, &r.render());
+            }
+            "defenses" => {
+                let suspects = match scale {
+                    Scale::Tiny => 15,
+                    Scale::Small => 30,
+                    Scale::Paper => 40,
+                };
+                let r = defenses::run(&ctx, suspects);
+                save("defenses", &r, &r.render());
+            }
+            other => eprintln!("unknown experiment {other:?} (skipped)"),
+        }
+        eprintln!("[{e} done in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    eprintln!("results written under {}", dir.display());
+}
+
+/// Tiny object-safe serialization shim so `save` can take any result.
+mod erased {
+    use std::path::Path;
+
+    pub trait Json {
+        fn write(&self, path: &Path) -> std::io::Result<()>;
+    }
+
+    impl<T: serde::Serialize> Json for T {
+        fn write(&self, path: &Path) -> std::io::Result<()> {
+            sybil_stats::export::write_json(path, self)
+        }
+    }
+}

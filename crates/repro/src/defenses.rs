@@ -1,0 +1,218 @@
+//! §3.1 experiment — do community-based Sybil defenses work on realistic
+//! topology?
+//!
+//! Every defense is evaluated twice: on the **wild** simulated graph
+//! (Sybils created by snowball-sampling tools, integrated into the social
+//! fabric) and on the **injected-cluster** synthetic graph the original
+//! papers validated against (tight Sybil region, few attack edges). The
+//! paper's claim is the contrast: high Sybil acceptance in the wild, low
+//! on the synthetic graph.
+
+use crate::scenario::Ctx;
+use osn_graph::{NodeId, TemporalGraph};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use sybil_defense::common::injected_cluster_graph;
+use sybil_defense::{
+    evaluate_defense, ConductanceRanking, DefenseEvaluation, SumUp, SybilDefense, SybilGuard,
+    SybilInfer, SybilLimit,
+};
+use sybil_stats::table::Table;
+
+/// One defense's two evaluations.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DefenseRow {
+    /// Defense name.
+    pub name: String,
+    /// Acceptance/rejection rates on the wild simulated graph.
+    pub wild: DefenseEvaluation,
+    /// Rates on the injected-cluster synthetic graph.
+    pub injected: DefenseEvaluation,
+}
+
+/// Result of the defenses experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Defenses {
+    /// One row per defense.
+    pub rows: Vec<DefenseRow>,
+}
+
+fn pick_active<R: Rng + RngExt + ?Sized>(
+    g: &TemporalGraph,
+    candidates: &[NodeId],
+    min_degree: usize,
+    count: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let mut pool: Vec<NodeId> = candidates
+        .iter()
+        .copied()
+        .filter(|&n| g.degree(n) >= min_degree)
+        .collect();
+    pool.shuffle(rng);
+    pool.truncate(count);
+    pool
+}
+
+/// Run every defense on both graphs with `suspects` suspects per class.
+pub fn run(ctx: &Ctx, suspects: usize) -> Defenses {
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xDEF);
+    // --- wild graph setup -------------------------------------------------
+    let g = &ctx.out.graph;
+    let wild_sybils = pick_active(g, &ctx.sybils, 5, suspects, &mut rng);
+    let wild_honest = pick_active(g, &ctx.normals, 5, suspects, &mut rng);
+    // Verifier: an honest user of solid but not extreme degree.
+    let mut by_deg: Vec<NodeId> = ctx
+        .normals
+        .iter()
+        .copied()
+        .filter(|&n| g.degree(n) >= 10)
+        .collect();
+    by_deg.sort_by_key(|&n| g.degree(n));
+    let verifier = by_deg[by_deg.len() / 2];
+
+    // --- injected-cluster setup -------------------------------------------
+    let (inj, first_sybil) =
+        injected_cluster_graph(3000, 300, 12, &mut StdRng::seed_from_u64(ctx.seed ^ 0x1213));
+    let inj_sybil_ids: Vec<NodeId> = (0..300u32).map(|i| NodeId(first_sybil.0 + i)).collect();
+    let inj_honest_ids: Vec<NodeId> = (0..3000u32).map(NodeId).collect();
+    let inj_sybils = pick_active(&inj, &inj_sybil_ids, 1, suspects, &mut rng);
+    let inj_honest = pick_active(&inj, &inj_honest_ids, 3, suspects, &mut rng);
+    let inj_verifier = NodeId(0);
+
+    let mut rows = Vec::new();
+    let mut eval_both = |name: &str,
+                         wild_def: &dyn SybilDefense,
+                         inj_def: &dyn SybilDefense| {
+        let wild = evaluate_defense(wild_def, g, verifier, &wild_sybils, &wild_honest);
+        let injected = evaluate_defense(inj_def, &inj, inj_verifier, &inj_sybils, &inj_honest);
+        rows.push(DefenseRow {
+            name: name.to_string(),
+            wild,
+            injected,
+        });
+    };
+
+    let sg_wild = SybilGuard::new(g, None, ctx.seed ^ 1);
+    // Injected graph: a route length that stays mostly inside the honest
+    // region (the protocol's own small-w regime).
+    let sg_inj = SybilGuard::new(&inj, Some(60), ctx.seed ^ 2);
+    eval_both("SybilGuard", &sg_wild, &sg_inj);
+
+    let sl_wild = SybilLimit::new(g, ctx.seed ^ 3);
+    let sl_inj = SybilLimit::new(&inj, ctx.seed ^ 4);
+    eval_both("SybilLimit", &sl_wild, &sl_inj);
+
+    let si_wild = SybilInfer::new(g, ctx.seed ^ 5);
+    let si_inj = SybilInfer::new(&inj, ctx.seed ^ 6);
+    eval_both("SybilInfer", &si_wild, &si_inj);
+
+    let mut cr_wild = ConductanceRanking::new();
+    cr_wild.min_community = (ctx.normals.len() / 40).max(16);
+    let mut cr_inj = ConductanceRanking::new();
+    cr_inj.min_community = 75; // 3000 honest / 40
+    eval_both("ConductanceRanking", &cr_wild, &cr_inj);
+
+    // SumUp's guarantee is aggregate (votes accepted per attack edge), so
+    // it is evaluated as batch vote collection rather than per-suspect.
+    let su = SumUp::new(suspects * 2);
+    let count = |v: Vec<bool>| v.iter().filter(|&&a| a).count();
+    let wild = DefenseEvaluation {
+        sybils_accepted: count(su.collect_votes(g, verifier, &wild_sybils)),
+        sybils_total: wild_sybils.len(),
+        honest_rejected: wild_honest.len() - count(su.collect_votes(g, verifier, &wild_honest)),
+        honest_total: wild_honest.len(),
+    };
+    let injected = DefenseEvaluation {
+        sybils_accepted: count(su.collect_votes(&inj, inj_verifier, &inj_sybils)),
+        sybils_total: inj_sybils.len(),
+        honest_rejected: inj_honest.len()
+            - count(su.collect_votes(&inj, inj_verifier, &inj_honest)),
+        honest_total: inj_honest.len(),
+    };
+    rows.push(DefenseRow {
+        name: "SumUp".to_string(),
+        wild,
+        injected,
+    });
+
+    Defenses { rows }
+}
+
+impl Defenses {
+    /// Mean Sybil acceptance across defenses on the wild graph.
+    pub fn mean_wild_acceptance(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.wild.sybil_acceptance_rate())
+            .sum::<f64>()
+            / self.rows.len().max(1) as f64
+    }
+
+    /// Mean Sybil acceptance across defenses on the injected graph.
+    pub fn mean_injected_acceptance(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.injected.sybil_acceptance_rate())
+            .sum::<f64>()
+            / self.rows.len().max(1) as f64
+    }
+
+    /// Render the comparison table.
+    pub fn render(&self) -> String {
+        let pct = |x: f64| format!("{:.0}%", 100.0 * x);
+        let mut t = Table::new([
+            "Defense",
+            "Wild: Sybils accepted",
+            "Wild: honest rejected",
+            "Injected: Sybils accepted",
+            "Injected: honest rejected",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.name.clone(),
+                pct(r.wild.sybil_acceptance_rate()),
+                pct(r.wild.honest_rejection_rate()),
+                pct(r.injected.sybil_acceptance_rate()),
+                pct(r.injected.honest_rejection_rate()),
+            ]);
+        }
+        let mut out = String::from(
+            "Defense evaluation — wild topology vs injected clusters (§3.1)\n\n",
+        );
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "\nmean Sybil acceptance: wild {:.0}% vs injected {:.0}% — \
+             integrated Sybils defeat community-based detection\n",
+            100.0 * self.mean_wild_acceptance(),
+            100.0 * self.mean_injected_acceptance()
+        ));
+        out.push_str(
+            "note: a defense also fails by rejecting honest users wholesale \
+             (conductance ranking finds no community valley in the wild graph, \
+             so its 'community' shrinks to the verifier's neighborhood)\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scale;
+
+    #[test]
+    fn wild_topology_defeats_defenses() {
+        let ctx = Ctx::build(Scale::Tiny, 11);
+        let d = run(&ctx, 15);
+        assert_eq!(d.rows.len(), 5);
+        assert!(
+            d.mean_wild_acceptance() > d.mean_injected_acceptance() + 0.15,
+            "wild {} vs injected {}",
+            d.mean_wild_acceptance(),
+            d.mean_injected_acceptance()
+        );
+        assert!(d.render().contains("SybilGuard"));
+    }
+}

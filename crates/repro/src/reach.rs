@@ -1,0 +1,135 @@
+//! Spam-reach experiment — the paper's motivation, quantified.
+//!
+//! Table 2 reports each Sybil component's *audience* (distinct honest
+//! neighbors) as its spam surface. But Renren content travels further
+//! than one hop: "blog entries … can be forwarded across multiple social
+//! hops much like retweets" (§2.1). This experiment seeds an independent
+//! cascade at the honest friends of each large Sybil component and
+//! measures how far an ad actually propagates, at several forwarding
+//! probabilities.
+
+use crate::scenario::Ctx;
+use osn_graph::{cascade, metrics, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use sybil_stats::table::Table;
+use std::collections::HashSet;
+
+/// Reach measurements for one Sybil component.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReachRow {
+    /// Component size (Sybils).
+    pub sybils: usize,
+    /// Direct audience (Table 2's column: distinct honest neighbors).
+    pub audience: usize,
+    /// Expected cascade reach at each probed forwarding probability.
+    pub reach: Vec<(f64, f64)>,
+}
+
+/// Result of the reach experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Reach {
+    /// Forwarding probabilities probed.
+    pub probabilities: Vec<f64>,
+    /// One row per large component (top 3).
+    pub rows: Vec<ReachRow>,
+    /// Fraction of the normal population reachable by the giant
+    /// component's campaign at the highest probed probability.
+    pub giant_max_coverage: f64,
+}
+
+/// Run the experiment (`trials` cascades per probability).
+pub fn run(ctx: &Ctx, trials: usize) -> Reach {
+    let probabilities = vec![0.01, 0.05, 0.15];
+    let g = &ctx.out.graph;
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x5EAC);
+    let mut rows = Vec::new();
+    let mut giant_max_coverage: f64 = 0.0;
+    for (ci, comp) in ctx.sybil_components.iter().take(3).enumerate() {
+        let stats = metrics::cut_stats(g, &comp.nodes);
+        // Seeds: the component's honest audience (the accounts that see
+        // the ad directly on their feed).
+        let members: HashSet<NodeId> = comp.nodes.iter().copied().collect();
+        let mut audience: HashSet<NodeId> = HashSet::new();
+        for &s in &comp.nodes {
+            for nb in g.neighbors(s) {
+                if !members.contains(&nb.node) {
+                    audience.insert(nb.node);
+                }
+            }
+        }
+        let mut seeds: Vec<NodeId> = audience.into_iter().collect();
+        seeds.sort_unstable(); // determinism: HashSet order is randomized
+        let mut reach = Vec::new();
+        for &p in &probabilities {
+            let r = cascade::expected_reach(g, &seeds, p, trials, &mut rng);
+            reach.push((p, r));
+            if ci == 0 {
+                giant_max_coverage =
+                    giant_max_coverage.max(r / ctx.normals.len().max(1) as f64);
+            }
+        }
+        rows.push(ReachRow {
+            sybils: comp.len(),
+            audience: stats.audience,
+            reach,
+        });
+    }
+    Reach {
+        probabilities,
+        rows,
+        giant_max_coverage,
+    }
+}
+
+impl Reach {
+    /// Render the reach table.
+    pub fn render(&self) -> String {
+        let mut header = vec!["Sybils".to_string(), "Audience".to_string()];
+        for p in &self.probabilities {
+            header.push(format!("reach@p={p}"));
+        }
+        let mut t = Table::new(header);
+        for r in &self.rows {
+            let mut row = vec![r.sybils.to_string(), r.audience.to_string()];
+            for (_, reach) in &r.reach {
+                row.push(format!("{reach:.0}"));
+            }
+            t.row(row);
+        }
+        let mut out = String::from(
+            "Spam reach — cascades seeded at each component's audience (§2.1 motivation)\n\n",
+        );
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "\ngiant component campaign touches {:.0}% of the normal population at the \
+             highest forwarding rate — why Table 2's audience column understates the threat\n",
+            100.0 * self.giant_max_coverage
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scale;
+
+    #[test]
+    fn reach_exceeds_audience_and_grows_with_p() {
+        let ctx = Ctx::build(Scale::Tiny, 11);
+        let r = run(&ctx, 30);
+        assert!(!r.rows.is_empty());
+        for row in &r.rows {
+            // Reach includes the seeds, so it is at least the audience.
+            assert!(row.reach[0].1 >= row.audience as f64 * 0.99);
+            // Monotone in p.
+            for w in row.reach.windows(2) {
+                assert!(w[1].1 >= w[0].1 * 0.99, "reach must not shrink with p");
+            }
+        }
+        assert!(r.giant_max_coverage > 0.0);
+        assert!(r.render().contains("Spam reach"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Shared defense interface and evaluation harness.
+//!
+//! All four baselines answer the same decentralized question: *from the
+//! perspective of a known-honest verifier node, is this suspect node
+//! honest or Sybil?* The evaluation harness measures the two error rates
+//! the paper's argument turns on: how many real Sybils a defense accepts
+//! (misses) and how many honest users it rejects.
+
+use osn_graph::{NodeId, TemporalGraph};
+use serde::{Deserialize, Serialize};
+
+/// A defense's judgment of a suspect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The suspect is judged honest.
+    Accept,
+    /// The suspect is judged Sybil.
+    Reject,
+}
+
+/// A decentralized graph-based Sybil defense.
+pub trait SybilDefense {
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Judge `suspect` from the perspective of honest `verifier`.
+    fn verify(&self, g: &TemporalGraph, verifier: NodeId, suspect: NodeId) -> Verdict;
+}
+
+/// Error rates of one defense on one graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DefenseEvaluation {
+    /// Sybil suspects accepted (defense failures).
+    pub sybils_accepted: usize,
+    /// Sybil suspects evaluated.
+    pub sybils_total: usize,
+    /// Honest suspects rejected (collateral damage).
+    pub honest_rejected: usize,
+    /// Honest suspects evaluated.
+    pub honest_total: usize,
+}
+
+impl DefenseEvaluation {
+    /// Fraction of Sybils that escaped detection.
+    pub fn sybil_acceptance_rate(&self) -> f64 {
+        if self.sybils_total == 0 {
+            0.0
+        } else {
+            self.sybils_accepted as f64 / self.sybils_total as f64
+        }
+    }
+
+    /// Fraction of honest users wrongly rejected.
+    pub fn honest_rejection_rate(&self) -> f64 {
+        if self.honest_total == 0 {
+            0.0
+        } else {
+            self.honest_rejected as f64 / self.honest_total as f64
+        }
+    }
+}
+
+/// Run `defense` from `verifier` against the given suspect samples.
+pub fn evaluate_defense<D: SybilDefense + ?Sized>(
+    defense: &D,
+    g: &TemporalGraph,
+    verifier: NodeId,
+    sybil_suspects: &[NodeId],
+    honest_suspects: &[NodeId],
+) -> DefenseEvaluation {
+    let mut eval = DefenseEvaluation::default();
+    for &s in sybil_suspects {
+        eval.sybils_total += 1;
+        if defense.verify(g, verifier, s) == Verdict::Accept {
+            eval.sybils_accepted += 1;
+        }
+    }
+    for &h in honest_suspects {
+        eval.honest_total += 1;
+        if defense.verify(g, verifier, h) == Verdict::Reject {
+            eval.honest_rejected += 1;
+        }
+    }
+    eval
+}
+
+/// Build the synthetic graph the defenses were originally validated on
+/// (§3.1: "real social graphs with Sybil communities artificially
+/// injected"): an honest Barabási–Albert region of `n_honest` nodes, a
+/// dense injected Sybil region of `n_sybil` nodes, and exactly
+/// `attack_edges` random links between the regions. Returns the graph and
+/// the first Sybil node id (Sybils are `n_honest..n_honest+n_sybil`).
+pub fn injected_cluster_graph<R: rand::Rng + rand::RngExt + ?Sized>(
+    n_honest: usize,
+    n_sybil: usize,
+    attack_edges: usize,
+    rng: &mut R,
+) -> (TemporalGraph, NodeId) {
+    use osn_graph::Timestamp;
+    let mut g = osn_graph::generators::barabasi_albert(n_honest, 4, Timestamp::ZERO, rng);
+    let first_sybil = g.add_nodes(n_sybil);
+    // Dense Sybil region: each Sybil links to ~8 random other Sybils.
+    for i in 0..n_sybil {
+        let a = NodeId(first_sybil.0 + i as u32);
+        for _ in 0..8 {
+            let b = NodeId(first_sybil.0 + rng.random_range(0..n_sybil) as u32);
+            if a != b {
+                let _ = g.add_edge(a, b, Timestamp::ZERO);
+            }
+        }
+    }
+    // Sparse attack edges.
+    let mut added = 0usize;
+    let mut guard = 0usize;
+    while added < attack_edges && guard < attack_edges * 100 {
+        guard += 1;
+        let h = NodeId(rng.random_range(0..n_honest) as u32);
+        let s = NodeId(first_sybil.0 + rng.random_range(0..n_sybil) as u32);
+        if g.add_edge(h, s, Timestamp::ZERO).is_ok() {
+            added += 1;
+        }
+    }
+    (g, first_sybil)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysAccept;
+    impl SybilDefense for AlwaysAccept {
+        fn name(&self) -> &'static str {
+            "accept-all"
+        }
+        fn verify(&self, _: &TemporalGraph, _: NodeId, _: NodeId) -> Verdict {
+            Verdict::Accept
+        }
+    }
+
+    #[test]
+    fn evaluation_counts_rates() {
+        let g = TemporalGraph::with_nodes(4);
+        let eval = evaluate_defense(
+            &AlwaysAccept,
+            &g,
+            NodeId(0),
+            &[NodeId(1), NodeId(2)],
+            &[NodeId(3)],
+        );
+        assert_eq!(eval.sybil_acceptance_rate(), 1.0);
+        assert_eq!(eval.honest_rejection_rate(), 0.0);
+        assert_eq!(eval.sybils_total, 2);
+        assert_eq!(eval.honest_total, 1);
+    }
+
+    #[test]
+    fn empty_evaluation_rates_are_zero() {
+        let e = DefenseEvaluation::default();
+        assert_eq!(e.sybil_acceptance_rate(), 0.0);
+        assert_eq!(e.honest_rejection_rate(), 0.0);
+    }
+
+    #[test]
+    fn injected_graph_has_tight_sybil_region() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let (g, first_sybil) = injected_cluster_graph(500, 50, 10, &mut rng);
+        assert_eq!(g.num_nodes(), 550);
+        let sybils: Vec<NodeId> = (0..50).map(|i| NodeId(first_sybil.0 + i)).collect();
+        let stats = osn_graph::metrics::cut_stats(&g, &sybils);
+        assert_eq!(stats.crossing_edges, 10);
+        assert!(
+            stats.internal_edges > stats.crossing_edges * 5,
+            "injected region must be tight-knit: {} internal vs {} crossing",
+            stats.internal_edges,
+            stats.crossing_edges
+        );
+    }
+}

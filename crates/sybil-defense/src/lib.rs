@@ -1,0 +1,30 @@
+//! # sybil-defense — graph-based Sybil defense baselines
+//!
+//! §3.1 of the paper describes the four decentralized Sybil detectors whose
+//! assumptions the measurement study tests: SybilGuard, SybilLimit,
+//! SybilInfer, and SumUp. All four presume Sybils form a tight-knit region
+//! connected to the honest region by a small cut of attack edges; the
+//! paper shows Renren's real Sybils violate that premise, so the defenses
+//! should fail on realistic topologies while succeeding on synthetic
+//! injected-cluster graphs.
+//!
+//! This crate implements all four — plus the conductance-ranking community
+//! detector Viswanath et al. showed they all reduce to — against the
+//! `osn-graph` substrate, with a shared evaluation harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod ranking;
+pub mod sumup;
+pub mod sybilguard;
+pub mod sybilinfer;
+pub mod sybillimit;
+
+pub use common::{evaluate_defense, DefenseEvaluation, SybilDefense, Verdict};
+pub use ranking::ConductanceRanking;
+pub use sumup::SumUp;
+pub use sybilguard::SybilGuard;
+pub use sybilinfer::SybilInfer;
+pub use sybillimit::SybilLimit;

@@ -1,0 +1,129 @@
+//! Accept-ratio features (Figs. 2 and 3).
+//!
+//! *Outgoing* accepted ratio = accepted / sent (never-answered requests
+//! count against the sender, matching the paper's "fraction of outgoing
+//! friend requests confirmed by the recipient").
+//!
+//! *Incoming* accepted ratio = accepted / received. A Sybil that was banned
+//! with pending incoming requests scores < 1 even though it never rejected
+//! anyone — exactly the effect the paper describes under Fig. 3.
+
+use osn_sim::SimOutput;
+
+/// Accepted fraction of the sent requests listed by `sent_records`
+/// (record indices into the output's log). Zero if none were sent.
+pub fn outgoing_accept_ratio(out: &SimOutput, sent_records: &[u32]) -> f64 {
+    if sent_records.is_empty() {
+        return 0.0;
+    }
+    let accepted = sent_records
+        .iter()
+        .filter(|&&i| out.log.get(i as usize).outcome.is_accepted())
+        .count();
+    accepted as f64 / sent_records.len() as f64
+}
+
+/// Accepted fraction of the received requests listed by `recv_records`.
+/// Returns 1.0 when nothing was received: the account declined nothing.
+pub fn incoming_accept_ratio(out: &SimOutput, recv_records: &[u32]) -> f64 {
+    if recv_records.is_empty() {
+        return 1.0;
+    }
+    let accepted = recv_records
+        .iter()
+        .filter(|&&i| out.log.get(i as usize).outcome.is_accepted())
+        .count();
+    accepted as f64 / recv_records.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::{NodeId, TemporalGraph, Timestamp};
+    use osn_sim::{
+        Account, AccountKind, Gender, Profile, RequestLog, RequestOutcome, RequestRecord,
+        SimConfig, SimOutput,
+    };
+
+    fn output_with_log(records: Vec<RequestRecord>) -> SimOutput {
+        let mut log = RequestLog::new();
+        for r in records {
+            let outcome = r.outcome;
+            let i = log.push(RequestRecord {
+                outcome: RequestOutcome::Pending,
+                ..r
+            });
+            if outcome.is_resolved() {
+                log.resolve(i, outcome);
+            }
+        }
+        let acct = Account {
+            kind: AccountKind::Normal,
+            profile: Profile::new(Gender::Male, 0.5),
+            created_at: Timestamp::ZERO,
+            banned_at: None,
+            accept_tendency: 0.5,
+            sociability: 1.0,
+        };
+        SimOutput {
+            config: SimConfig::tiny(0),
+            graph: TemporalGraph::with_nodes(3),
+            accounts: vec![acct.clone(), acct.clone(), acct],
+            log,
+            engine_stats: osn_sim::output::EngineStats::default(),
+        }
+    }
+
+    fn rec(from: u32, to: u32, h: u64, outcome: RequestOutcome) -> RequestRecord {
+        RequestRecord {
+            from: NodeId(from),
+            to: NodeId(to),
+            sent_at: Timestamp::from_hours(h),
+            outcome,
+        }
+    }
+
+    #[test]
+    fn outgoing_counts_pending_as_unaccepted() {
+        let t = Timestamp::from_hours(9);
+        let out = output_with_log(vec![
+            rec(0, 1, 1, RequestOutcome::Accepted(t)),
+            rec(0, 2, 2, RequestOutcome::Rejected(t)),
+            rec(0, 1, 3, RequestOutcome::Pending),
+        ]);
+        // Indices 0..3 all sent by account 0.
+        assert!((outgoing_accept_ratio(&out, &[0, 1, 2]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outgoing_zero_when_nothing_sent() {
+        let out = output_with_log(vec![]);
+        assert_eq!(outgoing_accept_ratio(&out, &[]), 0.0);
+    }
+
+    #[test]
+    fn incoming_full_acceptance() {
+        let t = Timestamp::from_hours(9);
+        let out = output_with_log(vec![
+            rec(1, 0, 1, RequestOutcome::Accepted(t)),
+            rec(2, 0, 2, RequestOutcome::Accepted(t)),
+        ]);
+        assert_eq!(incoming_accept_ratio(&out, &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn incoming_pending_reduces_ratio() {
+        let t = Timestamp::from_hours(9);
+        let out = output_with_log(vec![
+            rec(1, 0, 1, RequestOutcome::Accepted(t)),
+            rec(2, 0, 2, RequestOutcome::Pending), // banned before answering
+        ]);
+        assert_eq!(incoming_accept_ratio(&out, &[0, 1]), 0.5);
+    }
+
+    #[test]
+    fn incoming_default_is_one() {
+        let out = output_with_log(vec![]);
+        assert_eq!(incoming_accept_ratio(&out, &[]), 1.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! CSV and JSON export of experiment series.
+//!
+//! The `repro` harness writes every figure/table's underlying data into
+//! `results/` so external tooling can re-plot it. CSV writing is by hand
+//! (values are numeric or simple identifiers — no quoting edge cases);
+//! structured metadata goes through `serde_json`.
+
+use serde::Serialize;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Write `(x, y)` series as CSV with the given column names.
+pub fn write_xy_csv<W: Write>(
+    mut w: W,
+    x_name: &str,
+    y_name: &str,
+    points: &[(f64, f64)],
+) -> io::Result<()> {
+    writeln!(w, "{x_name},{y_name}")?;
+    for (x, y) in points {
+        writeln!(w, "{x},{y}")?;
+    }
+    Ok(())
+}
+
+/// Write several named series sharing an x axis:
+/// `x, name1, name2, …` — series must be equal length.
+pub fn write_multi_csv<W: Write>(
+    mut w: W,
+    x_name: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+) -> io::Result<()> {
+    let names: Vec<&str> = series.iter().map(|(n, _)| *n).collect();
+    writeln!(w, "{x_name},{}", names.join(","))?;
+    let len = series.first().map_or(0, |(_, v)| v.len());
+    for (_, v) in series {
+        assert_eq!(v.len(), len, "series must share length");
+    }
+    for i in 0..len {
+        let x = series[0].1[i].0;
+        let ys: Vec<String> = series.iter().map(|(_, v)| v[i].1.to_string()).collect();
+        writeln!(w, "{x},{}", ys.join(","))?;
+    }
+    Ok(())
+}
+
+/// Serialize `value` as pretty JSON into `path`, creating parent dirs.
+pub fn write_json<T: Serialize, P: AsRef<Path>>(path: P, value: &T) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+/// Write a string to `path`, creating parent dirs.
+pub fn write_text<P: AsRef<Path>>(path: P, text: &str) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_csv_format() {
+        let mut buf = Vec::new();
+        write_xy_csv(&mut buf, "deg", "cdf", &[(1.0, 0.5), (2.0, 1.0)]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s, "deg,cdf\n1,0.5\n2,1\n");
+    }
+
+    #[test]
+    fn multi_csv_format() {
+        let mut buf = Vec::new();
+        write_multi_csv(
+            &mut buf,
+            "x",
+            &[
+                ("a", vec![(1.0, 0.1), (2.0, 0.2)]),
+                ("b", vec![(1.0, 0.9), (2.0, 1.0)]),
+            ],
+        )
+        .unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s, "x,a,b\n1,0.1,0.9\n2,0.2,1\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "series must share length")]
+    fn multi_csv_rejects_ragged() {
+        let mut buf = Vec::new();
+        let _ = write_multi_csv(
+            &mut buf,
+            "x",
+            &[("a", vec![(1.0, 0.1)]), ("b", vec![])],
+        );
+    }
+
+    #[test]
+    fn json_and_text_roundtrip() {
+        let dir = std::env::temp_dir().join("sybil_stats_test_export");
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = dir.join("nested/value.json");
+        write_json(&p, &serde_json::json!({"k": 1})).unwrap();
+        let back: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&p).unwrap()).unwrap();
+        assert_eq!(back["k"], 1);
+        let t = dir.join("nested/plot.txt");
+        write_text(&t, "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(&t).unwrap(), "hello");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

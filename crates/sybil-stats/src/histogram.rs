@@ -1,0 +1,131 @@
+//! Histograms, including logarithmic binning for heavy-tailed data.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over fixed-width linear bins.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive lower edge of the first bin.
+    pub lo: f64,
+    /// Width of each bin.
+    pub width: f64,
+    /// Bin counts.
+    pub counts: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples at or above the last bin edge.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Build with `bins` bins covering `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "hi must exceed lo");
+        Histogram {
+            lo,
+            width: (hi - lo) / bins as f64,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Add many samples.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, it: I) {
+        for x in it {
+            self.add(x);
+        }
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(bin_center, count)` pairs.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * self.width, c))
+            .collect()
+    }
+}
+
+/// Counts per power-of-`base` bin: bin `k` covers `[base^k, base^(k+1))`.
+/// Samples < 1 fall into bin 0. Suited to degree distributions.
+pub fn log_binned(samples: &[f64], base: f64) -> Vec<(f64, u64)> {
+    assert!(base > 1.0, "log base must exceed 1");
+    let mut bins: std::collections::BTreeMap<i32, u64> = std::collections::BTreeMap::new();
+    for &x in samples {
+        let k = if x < 1.0 { 0 } else { x.log(base).floor() as i32 };
+        *bins.entry(k).or_insert(0) += 1;
+    }
+    bins.into_iter()
+        .map(|(k, c)| (base.powi(k), c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([-1.0, 0.0, 1.9, 2.0, 9.9, 10.0, 50.0]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.counts, vec![2, 1, 0, 0, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn centers_are_midpoints() {
+        let h = Histogram::new(0.0, 4.0, 2);
+        let c = h.centers();
+        assert_eq!(c[0].0, 1.0);
+        assert_eq!(c[1].0, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hi must exceed lo")]
+    fn inverted_range_rejected() {
+        Histogram::new(1.0, 0.0, 3);
+    }
+
+    #[test]
+    fn log_bins_powers_of_ten() {
+        let samples = vec![0.5, 1.0, 5.0, 10.0, 99.0, 100.0];
+        let bins = log_binned(&samples, 10.0);
+        // bin 0 ([<1] + [1,10)): 0.5, 1.0, 5.0 -> 3; bin 10: 10.0, 99.0 -> 2;
+        // bin 100: 100.0 -> 1.
+        assert_eq!(bins, vec![(1.0, 3), (10.0, 2), (100.0, 1)]);
+    }
+
+    #[test]
+    fn log_bins_empty() {
+        assert!(log_binned(&[], 2.0).is_empty());
+    }
+}

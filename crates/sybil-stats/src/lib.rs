@@ -1,0 +1,21 @@
+//! # sybil-stats — statistics and reporting
+//!
+//! Every figure in the paper is a CDF, a scatter, or a dot matrix; every
+//! table is rows of counts. This crate provides those presentation
+//! primitives: empirical CDFs ([`cdf`]), log-binned histograms
+//! ([`histogram`]), summary statistics ([`summary`]), terminal rendering
+//! ([`ascii`]), aligned tables ([`table`]), and CSV/JSON export
+//! ([`export`]). No simulation or graph logic lives here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod cdf;
+pub mod export;
+pub mod histogram;
+pub mod summary;
+pub mod table;
+
+pub use cdf::Cdf;
+pub use summary::Summary;

@@ -1,0 +1,112 @@
+//! One-pass summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Count / mean / variance / extrema accumulator (Welford's algorithm).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Running mean.
+    pub mean: f64,
+    m2: f64,
+    /// Smallest sample seen.
+    pub min: f64,
+    /// Largest sample seen.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Build from an iterator.
+    pub fn of<I: IntoIterator<Item = f64>>(it: I) -> Self {
+        let mut s = Summary::new();
+        for x in it {
+            s.add(x);
+        }
+        s
+    }
+
+    /// Sample variance (n−1 denominator); 0 for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean,
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_moments() {
+        let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // population variance 4 -> sample variance 32/7
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty = Summary::new();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.variance(), 0.0);
+        let one = Summary::of([3.0]);
+        assert_eq!(one.mean, 3.0);
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!(one.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Summary::of([1.0, 2.0]);
+        let txt = format!("{s}");
+        assert!(txt.contains("n=2"));
+        assert!(txt.contains("mean=1.5"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Dataset interchange: export a simulated measurement dataset as CSV
+//! (graph, labels, request log), reload it, and verify the analyses agree
+//! — the workflow for archiving runs or handing data to external tooling.
+//!
+//! ```sh
+//! cargo run --release --example dataset_export [-- OUT_DIR]
+//! ```
+
+use renren_sybils::sim::{io, simulate, SimConfig};
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/dataset-tiny-42".to_string());
+    println!("simulating ...");
+    let out = simulate(SimConfig::tiny(42));
+    let stats = out.stats();
+    println!(
+        "dataset: {} accounts, {} requests, {} edges ({} sybil edges)",
+        out.accounts.len(),
+        stats.requests,
+        stats.edges,
+        stats.sybil_edges
+    );
+
+    io::export_dataset(&out, &dir).expect("export failed");
+    println!("exported to {dir}/ (edges.csv, accounts.csv, requests.csv)");
+
+    let back = io::import_dataset(&dir, SimConfig::tiny(42)).expect("import failed");
+    let back_stats = back.stats();
+    assert_eq!(stats.requests, back_stats.requests);
+    assert_eq!(stats.edges, back_stats.edges);
+    assert_eq!(stats.sybil_edges, back_stats.sybil_edges);
+    assert_eq!(
+        out.sybil_connectivity_fraction(),
+        back.sybil_connectivity_fraction()
+    );
+    println!(
+        "reloaded and verified: sybil-edge incidence {:.1}% matches exactly",
+        100.0 * back.sybil_connectivity_fraction()
+    );
+
+    // The reloaded dataset drives the pipeline like a fresh run.
+    use renren_sybils::features::FeatureExtractor;
+    let fx = FeatureExtractor::new(&back);
+    let sybil = back.sybil_ids()[0];
+    let f = fx.features_for(sybil);
+    println!(
+        "spot check — sybil {}: freq_1h {:.1}, out-ratio {:.2}, cc {:.4}",
+        sybil.0, f.inv_freq_1h, f.outgoing_accept_ratio, f.clustering_coefficient
+    );
+}

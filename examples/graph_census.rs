@@ -1,0 +1,54 @@
+//! Graph census: does the simulated network look like a real OSN?
+//!
+//! Computes the structural profile of (a) the simulated wild graph,
+//! (b) its honest-only subgraph, and (c) a degree-matched Barabási–Albert
+//! null model, side by side. Real-OSN signatures to look for: heavy
+//! degree tail, high clustering relative to the null model, positive-ish
+//! assortativity, a single giant component, short paths.
+//!
+//! ```sh
+//! cargo run --release --example graph_census
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use renren_sybils::graph::generators;
+use renren_sybils::graph::profile::GraphProfile;
+use renren_sybils::graph::subgraph::InducedSubgraph;
+use renren_sybils::graph::Timestamp;
+use renren_sybils::sim::{simulate, SimConfig};
+
+fn main() {
+    println!("simulating ...");
+    let out = simulate(SimConfig::small(8));
+    let mut rng = StdRng::seed_from_u64(1);
+
+    println!("\n== wild simulated graph (normal users + Sybils) ==");
+    let wild = GraphProfile::compute(&out.graph, 12, &mut rng);
+    print!("{}", wild.render());
+
+    println!("\n== honest-only subgraph ==");
+    let honest = InducedSubgraph::new(&out.graph, &out.normal_ids());
+    let honest_profile = GraphProfile::compute(&honest.graph, 12, &mut rng);
+    print!("{}", honest_profile.render());
+
+    println!("\n== Barabási–Albert null model (same n, similar m) ==");
+    let m_per_node =
+        ((out.graph.num_edges() as f64 / out.graph.num_nodes() as f64).round() as usize).max(1);
+    let ba = generators::barabasi_albert(
+        out.graph.num_nodes(),
+        m_per_node,
+        Timestamp::ZERO,
+        &mut rng,
+    );
+    let ba_profile = GraphProfile::compute(&ba, 12, &mut rng);
+    print!("{}", ba_profile.render());
+
+    println!(
+        "\nsignatures: the simulated graph clusters {}x more than the BA null model \
+         (triadic closure at work) while keeping comparable path lengths ({:.1} vs {:.1}).",
+        (wild.avg_clustering / ba_profile.avg_clustering.max(1e-9)).round(),
+        wild.mean_distance,
+        ba_profile.mean_distance
+    );
+}
