@@ -108,14 +108,20 @@ pub fn evaluate<C: Classifier>(
 /// the returned matrix aggregates every fold's held-out predictions.
 ///
 /// The dataset should be shuffled beforehand; folds are contiguous ranges.
-pub fn cross_validate<C, F>(ds: &GroundTruth, k: usize, mut train: F) -> ConfusionMatrix
+///
+/// Folds are independent, so they train concurrently on
+/// [`osn_graph::par::num_threads`] threads (`RENREN_THREADS` overrides);
+/// `train` therefore takes a `Fn` closure rather than `FnMut`. Each fold's
+/// classifier is trained and evaluated entirely within one worker, and the
+/// integer confusion counts merge in fold order, so the result is
+/// identical at any thread count.
+pub fn cross_validate<C, F>(ds: &GroundTruth, k: usize, train: F) -> ConfusionMatrix
 where
     C: Classifier,
-    F: FnMut(&GroundTruth) -> C,
+    F: Fn(&GroundTruth) -> C + Sync,
 {
     let folds = ds.fold_ranges(k);
-    let mut total = ConfusionMatrix::default();
-    for test_range in folds {
+    let per_fold = osn_graph::par::map_slice(&folds, |test_range| {
         let mut train_ds = GroundTruth::default();
         for i in 0..ds.len() {
             if !test_range.contains(&i) {
@@ -125,12 +131,15 @@ where
             }
         }
         let clf = train(&train_ds);
-        let m = evaluate(
+        evaluate(
             &clf,
             &ds.features[test_range.clone()],
-            &ds.labels[test_range],
-        );
-        total.merge(&m);
+            &ds.labels[test_range.clone()],
+        )
+    });
+    let mut total = ConfusionMatrix::default();
+    for m in &per_fold {
+        total.merge(m);
     }
     total
 }

@@ -445,13 +445,12 @@ mod synthetic_tests {
         SimConfig, SimOutput, ToolKind,
     };
 
+    /// One request spec: (from, to, sent_h, Some((answered_after_h, accepted))).
+    type RequestSpec = (u32, u32, f64, Option<(f64, bool)>);
+
     /// Build an output with `n` accounts (account 0's kind is chosen) and
-    /// the given (from, to, sent_h, accepted_after_h) request tuples.
-    fn synthetic(
-        n: usize,
-        zero_is_sybil: bool,
-        requests: &[(u32, u32, f64, Option<(f64, bool)>)],
-    ) -> SimOutput {
+    /// the given request tuples.
+    fn synthetic(n: usize, zero_is_sybil: bool, requests: &[RequestSpec]) -> SimOutput {
         let normal = Account {
             kind: AccountKind::Normal,
             profile: Profile::new(Gender::Male, 0.4),

@@ -6,31 +6,36 @@
 //! average ≈ 0.0386 and Sybils ≈ 0.0006 because Sybils befriend strangers
 //! with no mutual ties.
 
-use crate::graph::{NodeId, TemporalGraph, Timestamp};
+use crate::graph::{Neighbor, NodeId, TemporalGraph, Timestamp};
+use crate::par;
 
 /// Local clustering coefficient of `n` over its entire neighborhood:
 /// `edges-among-neighbors / C(deg, 2)`. Zero when `deg < 2`.
 pub fn local_clustering(g: &TemporalGraph, n: NodeId) -> f64 {
-    clustering_over(g, g.neighbors(n).iter().map(|nb| nb.node))
+    clustering_over(g, g.neighbors(n))
 }
 
 /// The paper's Fig. 4 metric: clustering coefficient over the first `k`
 /// friends of `n` in chronological order. Zero when fewer than 2 friends.
 pub fn first_k_clustering(g: &TemporalGraph, n: NodeId, k: usize) -> f64 {
-    clustering_over(g, g.first_k_friends(n, k).iter().map(|nb| nb.node))
+    clustering_over(g, g.first_k_friends(n, k))
 }
 
 /// Clustering coefficient over the friends of `n` acquired strictly before
-/// `t` — what a streaming detector can know mid-simulation.
+/// `t` — what a streaming detector can know mid-simulation. Like the other
+/// temporal analyses, this reads the friends-before-`t` set as a prefix of
+/// the chronologically ordered adjacency list.
 pub fn clustering_before(g: &TemporalGraph, n: NodeId, t: Timestamp) -> f64 {
-    clustering_over(g, g.neighbors_before(n, t).map(|nb| nb.node))
+    let adj = g.neighbors(n);
+    let cut = adj.partition_point(|nb| nb.time < t);
+    clustering_over(g, &adj[..cut])
 }
 
-fn clustering_over<I>(g: &TemporalGraph, friends: I) -> f64
-where
-    I: Iterator<Item = NodeId>,
-{
-    let fs: Vec<NodeId> = friends.collect();
+/// Pairwise-probe clustering over a borrowed friend slice — no
+/// intermediate collection. For bulk sweeps prefer the
+/// [`CsrSnapshot`](crate::snapshot::CsrSnapshot) kernels, which replace
+/// the O(k²) membership probes with O(Σ deg) scratch marking.
+fn clustering_over(g: &TemporalGraph, fs: &[Neighbor]) -> f64 {
     let k = fs.len();
     if k < 2 {
         return 0.0;
@@ -38,7 +43,7 @@ where
     let mut links = 0usize;
     for i in 0..k {
         for j in (i + 1)..k {
-            if g.has_edge(fs[i], fs[j]) {
+            if g.has_edge(fs[i].node, fs[j].node) {
                 links += 1;
             }
         }
@@ -48,20 +53,43 @@ where
 
 /// Mean local clustering coefficient over all nodes with degree ≥ 2
 /// (the usual "average clustering" summary).
+///
+/// Runs the per-node kernels through [`par::map_indexed_with`]; the sum
+/// itself stays in node order, so the result is bit-identical at any
+/// thread count.
 pub fn average_clustering(g: &TemporalGraph) -> f64 {
+    let snap = crate::snapshot::CsrSnapshot::freeze(g);
+    let per_node = par::map_indexed_with(
+        g.num_nodes(),
+        || crate::snapshot::NeighborScratch::new(snap.num_nodes()),
+        |scratch, i| {
+            let n = NodeId(i as u32);
+            (snap.degree(n) >= 2).then(|| snap.local_clustering(n, scratch))
+        },
+    );
     let mut sum = 0.0;
     let mut count = 0usize;
-    for n in g.nodes() {
-        if g.degree(n) >= 2 {
-            sum += local_clustering(g, n);
-            count += 1;
-        }
+    for cc in per_node.into_iter().flatten() {
+        sum += cc;
+        count += 1;
     }
     if count == 0 {
         0.0
     } else {
         sum / count as f64
     }
+}
+
+/// First-`k` clustering ([`first_k_clustering`]) for every node, computed
+/// over a shared snapshot on [`par::num_threads`] threads. Output order
+/// and bits match the serial per-node loop.
+pub fn first_k_clustering_all(g: &TemporalGraph, k: usize) -> Vec<f64> {
+    let snap = crate::snapshot::CsrSnapshot::freeze(g);
+    par::map_indexed_with(
+        g.num_nodes(),
+        || crate::snapshot::NeighborScratch::new(snap.num_nodes()),
+        |scratch, i| snap.first_k_clustering(NodeId(i as u32), k, scratch),
+    )
 }
 
 /// Global clustering coefficient (transitivity): `3 × triangles / wedges`.

@@ -6,6 +6,7 @@
 //! exactly that decomposition given a membership predicate.
 
 use crate::graph::{NodeId, TemporalGraph};
+use crate::par;
 use crate::unionfind::UnionFind;
 
 /// A connected component: its member nodes (ascending id order).
@@ -40,13 +41,17 @@ pub fn connected_components(g: &TemporalGraph) -> Vec<Component> {
 /// nodes failing `keep` are excluded entirely. Isolated kept nodes form
 /// singleton components (callers analyzing “Sybils with ≥ 1 Sybil edge”
 /// should filter on degree-in-subset first, or drop singletons afterwards).
+///
+/// The membership predicate (often the expensive part — e.g. an adjacency
+/// scan per node) is evaluated for all nodes in parallel; the union-find
+/// pass itself is sequential and unaffected by thread count.
 pub fn components_of_subset<F>(g: &TemporalGraph, keep: F) -> Vec<Component>
 where
-    F: Fn(NodeId) -> bool,
+    F: Fn(NodeId) -> bool + Sync,
 {
     let n = g.num_nodes();
     let mut uf = UnionFind::new(n);
-    let kept: Vec<bool> = (0..n as u32).map(|i| keep(NodeId(i))).collect();
+    let kept: Vec<bool> = par::map_indexed(n, |i| keep(NodeId(i as u32)));
     for e in g.edges() {
         if kept[e.a.index()] && kept[e.b.index()] {
             uf.union(e.a.index(), e.b.index());

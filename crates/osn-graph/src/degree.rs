@@ -7,35 +7,33 @@
 //! degree sequences; CDF construction itself lives in `sybil-stats`.
 
 use crate::graph::{NodeId, TemporalGraph};
+use crate::par;
 
-/// Degree of every node, indexed by node id.
+/// Degree of every node, indexed by node id. Runs across
+/// [`par::num_threads`] threads; output is identical to the serial loop.
 pub fn degree_sequence(g: &TemporalGraph) -> Vec<usize> {
-    (0..g.num_nodes() as u32)
-        .map(|i| g.degree(NodeId(i)))
-        .collect()
+    par::map_indexed(g.num_nodes(), |i| g.degree(NodeId(i as u32)))
 }
 
 /// Degrees of the nodes in `nodes`, in the same order.
 pub fn degrees_of(g: &TemporalGraph, nodes: &[NodeId]) -> Vec<usize> {
-    nodes.iter().map(|&n| g.degree(n)).collect()
+    par::map_slice(nodes, |&n| g.degree(n))
 }
 
 /// Degree of each node in `nodes` counting only neighbors satisfying
 /// `count_neighbor` — e.g. the “Sybil edges” degree of Fig. 5 when the
-/// predicate is "neighbor is a Sybil".
+/// predicate is "neighbor is a Sybil". The predicate must be `Sync`; it is
+/// applied from worker threads, in a deterministic per-node order.
 pub fn restricted_degrees<F>(g: &TemporalGraph, nodes: &[NodeId], count_neighbor: F) -> Vec<usize>
 where
-    F: Fn(NodeId) -> bool,
+    F: Fn(NodeId) -> bool + Sync,
 {
-    nodes
-        .iter()
-        .map(|&n| {
-            g.neighbors(n)
-                .iter()
-                .filter(|nb| count_neighbor(nb.node))
-                .count()
-        })
-        .collect()
+    par::map_slice(nodes, |&n| {
+        g.neighbors(n)
+            .iter()
+            .filter(|nb| count_neighbor(nb.node))
+            .count()
+    })
 }
 
 /// Histogram of a degree sequence: `hist[d]` = number of nodes with degree

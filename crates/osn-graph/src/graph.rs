@@ -343,8 +343,14 @@ impl TemporalGraph {
 
     /// Count of mutual friends between `a` and `b`.
     ///
-    /// Scans the smaller adjacency list and probes the edge set, so it is
-    /// `O(min(deg a, deg b))`.
+    /// Scans the smaller adjacency list with a single packed edge-set probe
+    /// per neighbor, so it is `O(min(deg a, deg b))`. A neighbor equal to
+    /// the other endpoint packs to the `a`—`b` edge itself (or a self-loop
+    /// when the pair is not linked), neither of which is a mutual friend,
+    /// so no separate endpoint guard is needed beyond the one probe. For
+    /// bulk all-pairs counting, [`CsrSnapshot::mutual_friends`]
+    /// (crate::snapshot::CsrSnapshot::mutual_friends) replaces hashing
+    /// with a sorted-adjacency merge.
     pub fn mutual_friends(&self, a: NodeId, b: NodeId) -> usize {
         let (small, other) = if self.degree(a) <= self.degree(b) {
             (a, b)
@@ -353,7 +359,7 @@ impl TemporalGraph {
         };
         self.adj[small.index()]
             .iter()
-            .filter(|nb| nb.node != other && self.has_edge(nb.node, other))
+            .filter(|nb| self.edge_set.contains(&pack(nb.node, other)))
             .count()
     }
 

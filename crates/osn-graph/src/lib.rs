@@ -38,6 +38,11 @@
 //!   behind every §3.1 defense).
 //! * [`metrics`] — conductance, edge cuts, mutual-friend counts,
 //!   rich-club coefficients, degree assortativity.
+//! * [`snapshot`] — immutable CSR snapshot ([`CsrSnapshot`]) with sorted
+//!   adjacency for O(log d) membership, merge-based mutual friends, and
+//!   scratch-marked clustering kernels.
+//! * [`par`] — deterministic order-preserving parallel map used by the
+//!   full-population sweeps (`RENREN_THREADS` overrides the width).
 //! * [`paths`] — sampled shortest-path statistics.
 //! * [`profile`] — one-call structural census ([`profile::GraphProfile`]).
 //! * [`io`] — CSV edge-list import/export.
@@ -56,13 +61,16 @@ pub mod io;
 pub mod kcore;
 pub mod maxflow;
 pub mod metrics;
+pub mod par;
 pub mod paths;
 pub mod profile;
 pub mod sampling;
+pub mod snapshot;
 pub mod spectral;
 pub mod subgraph;
 pub mod unionfind;
 pub mod walks;
 
 pub use graph::{EdgeId, EdgeRecord, Neighbor, NodeId, TemporalGraph, Timestamp};
+pub use snapshot::{CsrSnapshot, NeighborScratch};
 pub use unionfind::UnionFind;

@@ -156,6 +156,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let g = generators::barabasi_albert(2000, 3, Timestamp::ZERO, &mut rng);
         let seeds = uniform_sample(&g, 5, &mut rng);
+        // Saturate well above the BA minimum degree (m = 3) so the weight
+        // `(d/saturation)^β` actually discriminates; with the default
+        // saturation of 3·min_degree every node would get weight 1.0 and
+        // the comparison below would be pure crawl noise.
         let biased = snowball_sample(
             &g,
             &seeds,
@@ -164,7 +168,7 @@ mod tests {
                 fanout: 15,
                 degree_bias: 2.0,
                 min_degree: 1,
-                saturation_degree: None,
+                saturation_degree: Some(50),
             },
             &mut rng,
         );

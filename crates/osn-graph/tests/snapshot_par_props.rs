@@ -1,0 +1,176 @@
+//! Property tests for the CSR snapshot and the parallel map: the frozen
+//! view must agree with [`TemporalGraph`] on every query, and parallel
+//! sweeps must be bit-identical to their serial counterparts.
+
+use osn_graph::{clustering, par, CsrSnapshot, NeighborScratch, NodeId, TemporalGraph, Timestamp};
+use proptest::prelude::*;
+
+/// Random graph with edges inserted in nondecreasing time order — the
+/// simulator's guarantee, which the temporal analyses assume.
+fn graph_from(n: usize, edges: &[(usize, usize)]) -> TemporalGraph {
+    let mut g = TemporalGraph::with_nodes(n);
+    for (i, &(a, b)) in edges.iter().enumerate() {
+        let _ = g.add_edge(
+            NodeId((a % n) as u32),
+            NodeId((b % n) as u32),
+            Timestamp(i as u64),
+        );
+    }
+    g
+}
+
+/// Run `body` with `RENREN_THREADS` pinned, restoring the prior value.
+/// Env vars are process-global; every test in this binary that touches
+/// them funnels through this one lock.
+fn with_threads_env(value: &str, body: impl FnOnce()) {
+    use std::sync::{Mutex, OnceLock};
+    static ENV_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let _guard = ENV_LOCK.get_or_init(|| Mutex::new(())).lock().unwrap();
+    let prior = std::env::var(par::THREADS_ENV).ok();
+    std::env::set_var(par::THREADS_ENV, value);
+    body();
+    match prior {
+        Some(v) => std::env::set_var(par::THREADS_ENV, v),
+        None => std::env::remove_var(par::THREADS_ENV),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `has_edge` agrees between snapshot and graph on every node pair.
+    #[test]
+    fn snapshot_has_edge_matches_graph(
+        n in 2usize..25,
+        edges in prop::collection::vec((0usize..25, 0usize..25), 0..80)
+    ) {
+        let g = graph_from(n, &edges);
+        let s = CsrSnapshot::freeze(&g);
+        prop_assert_eq!(s.num_nodes(), g.num_nodes());
+        prop_assert_eq!(s.num_edges(), g.num_edges());
+        for a in g.nodes() {
+            for b in g.nodes() {
+                prop_assert_eq!(
+                    s.has_edge(a, b),
+                    g.has_edge(a, b),
+                    "pair {:?}-{:?}", a, b
+                );
+            }
+        }
+    }
+
+    /// Snapshot rows are permutations of the graph's adjacency: the sorted
+    /// row ascends by id, the chronological row preserves insertion order.
+    #[test]
+    fn snapshot_neighbor_sets_match_graph(
+        n in 2usize..25,
+        edges in prop::collection::vec((0usize..25, 0usize..25), 0..80)
+    ) {
+        let g = graph_from(n, &edges);
+        let s = CsrSnapshot::freeze(&g);
+        for v in g.nodes() {
+            prop_assert_eq!(s.degree(v), g.degree(v));
+            let chrono: Vec<u32> = g.neighbors(v).iter().map(|nb| nb.node.0).collect();
+            prop_assert_eq!(s.neighbors_chrono(v), &chrono[..]);
+            let times: Vec<Timestamp> = g.neighbors(v).iter().map(|nb| nb.time).collect();
+            prop_assert_eq!(s.times_chrono(v), &times[..]);
+            let mut sorted = chrono.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(s.neighbors_sorted(v), &sorted[..]);
+            prop_assert!(s.neighbors_sorted(v).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// Mutual-friend counts from the sorted-adjacency merge equal the
+    /// graph's hash-probe implementation.
+    #[test]
+    fn snapshot_mutual_friends_match_graph(
+        n in 2usize..20,
+        edges in prop::collection::vec((0usize..20, 0usize..20), 0..60)
+    ) {
+        let g = graph_from(n, &edges);
+        let s = CsrSnapshot::freeze(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                if a != b {
+                    prop_assert_eq!(
+                        s.mutual_friends(a, b),
+                        g.mutual_friends(a, b),
+                        "pair {:?}-{:?}", a, b
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every snapshot clustering kernel returns the exact bits of the
+    /// corresponding `clustering`-module function.
+    #[test]
+    fn snapshot_clustering_matches_graph(
+        n in 2usize..20,
+        edges in prop::collection::vec((0usize..20, 0usize..20), 0..70),
+        k in 0usize..8,
+        cut in 0u64..70
+    ) {
+        let g = graph_from(n, &edges);
+        let s = CsrSnapshot::freeze(&g);
+        let mut scratch = NeighborScratch::new(s.num_nodes());
+        for v in g.nodes() {
+            prop_assert_eq!(
+                s.local_clustering(v, &mut scratch),
+                clustering::local_clustering(&g, v)
+            );
+            prop_assert_eq!(
+                s.first_k_clustering(v, k, &mut scratch),
+                clustering::first_k_clustering(&g, v, k)
+            );
+            prop_assert_eq!(
+                s.clustering_before(v, Timestamp(cut), &mut scratch),
+                clustering::clustering_before(&g, v, Timestamp(cut))
+            );
+        }
+        prop_assert_eq!(s.average_clustering(), clustering::average_clustering(&g));
+        prop_assert_eq!(s.global_clustering(), clustering::global_clustering(&g));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full-population sweeps produce the same bits at 1, 2, 3 and 7
+    /// threads.
+    #[test]
+    fn parallel_sweeps_are_thread_count_invariant(
+        n in 2usize..25,
+        edges in prop::collection::vec((0usize..25, 0usize..25), 0..80),
+        k in 1usize..6
+    ) {
+        let g = graph_from(n, &edges);
+        let mut avg = Vec::new();
+        let mut firstk = Vec::new();
+        let mut degs = Vec::new();
+        for threads in ["1", "2", "3", "7"] {
+            with_threads_env(threads, || {
+                avg.push(clustering::average_clustering(&g));
+                firstk.push(clustering::first_k_clustering_all(&g, k));
+                degs.push(osn_graph::degree::degree_sequence(&g));
+            });
+        }
+        for i in 1..avg.len() {
+            prop_assert_eq!(avg[i], avg[0]);
+            prop_assert_eq!(&firstk[i], &firstk[0]);
+            prop_assert_eq!(&degs[i], &degs[0]);
+        }
+    }
+
+    /// `par::map_indexed` equals the serial loop for arbitrary lengths,
+    /// including ones that do not divide evenly into chunks.
+    #[test]
+    fn map_indexed_matches_serial(len in 0usize..200, threads in 1usize..9) {
+        with_threads_env(&threads.to_string(), || {
+            let expected: Vec<u64> = (0..len).map(|i| (i as u64).wrapping_mul(0x9E3779B9)).collect();
+            let got = par::map_indexed(len, |i| (i as u64).wrapping_mul(0x9E3779B9));
+            assert_eq!(got, expected);
+        });
+    }
+}

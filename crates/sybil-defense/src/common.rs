@@ -19,7 +19,13 @@ pub enum Verdict {
 }
 
 /// A decentralized graph-based Sybil defense.
-pub trait SybilDefense {
+///
+/// `Sync` is a supertrait: `verify` takes `&self` and the evaluation
+/// harness fans suspects out across threads, so implementations must keep
+/// any internal caching behind a lock (see `SybilInfer`'s posterior
+/// cache) and deterministic — a cache hit and a recompute must yield the
+/// same verdict.
+pub trait SybilDefense: Sync {
     /// Human-readable name.
     fn name(&self) -> &'static str;
 
@@ -61,6 +67,11 @@ impl DefenseEvaluation {
 }
 
 /// Run `defense` from `verifier` against the given suspect samples.
+///
+/// Each suspect's verdict is independent, so both sample sets are judged
+/// in parallel (`osn_graph::par`, honoring `RENREN_THREADS`); the verdicts
+/// are tallied in suspect order, so the counts match the serial loop
+/// exactly.
 pub fn evaluate_defense<D: SybilDefense + ?Sized>(
     defense: &D,
     g: &TemporalGraph,
@@ -68,20 +79,24 @@ pub fn evaluate_defense<D: SybilDefense + ?Sized>(
     sybil_suspects: &[NodeId],
     honest_suspects: &[NodeId],
 ) -> DefenseEvaluation {
-    let mut eval = DefenseEvaluation::default();
-    for &s in sybil_suspects {
-        eval.sybils_total += 1;
-        if defense.verify(g, verifier, s) == Verdict::Accept {
-            eval.sybils_accepted += 1;
-        }
+    let sybil_verdicts = osn_graph::par::map_slice(sybil_suspects, |&s| {
+        defense.verify(g, verifier, s)
+    });
+    let honest_verdicts = osn_graph::par::map_slice(honest_suspects, |&h| {
+        defense.verify(g, verifier, h)
+    });
+    DefenseEvaluation {
+        sybils_accepted: sybil_verdicts
+            .iter()
+            .filter(|&&v| v == Verdict::Accept)
+            .count(),
+        sybils_total: sybil_suspects.len(),
+        honest_rejected: honest_verdicts
+            .iter()
+            .filter(|&&v| v == Verdict::Reject)
+            .count(),
+        honest_total: honest_suspects.len(),
     }
-    for &h in honest_suspects {
-        eval.honest_total += 1;
-        if defense.verify(g, verifier, h) == Verdict::Reject {
-            eval.honest_rejected += 1;
-        }
-    }
-    eval
 }
 
 /// Build the synthetic graph the defenses were originally validated on

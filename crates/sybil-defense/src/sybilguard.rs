@@ -114,7 +114,6 @@ mod tests {
     use crate::common::{evaluate_defense, injected_cluster_graph};
     use osn_graph::generators;
     use osn_graph::Timestamp;
-    use rand::prelude::*;
 
     #[test]
     fn honest_nodes_verify_each_other() {

@@ -100,19 +100,25 @@ impl SybilLimit {
         Some((prev, cur))
     }
 
-    /// Tail set of one node across all instances (one route per instance,
-    /// starting edge chosen by instance index — the protocol runs one
-    /// instance per edge slot in rotation).
-    fn tails(&self, g: &TemporalGraph, who: NodeId) -> HashMap<(NodeId, NodeId), usize> {
+    /// One route tail per instance for `who`, in instance order (the
+    /// protocol runs one instance per edge slot in rotation). Routes are
+    /// stateless and independent, so they run across threads; the output
+    /// vector is ordered by instance regardless of thread count.
+    fn instance_tails(&self, g: &TemporalGraph, who: NodeId) -> Vec<Option<(NodeId, NodeId)>> {
         let d = g.degree(who);
-        let mut map = HashMap::new();
         if d == 0 {
-            return map;
+            return Vec::new();
         }
-        for inst in 0..self.instances {
-            if let Some(tail) = self.route_tail(g, who, inst % d, inst) {
-                *map.entry(tail).or_insert(0) += 1;
-            }
+        osn_graph::par::map_indexed(self.instances, |inst| {
+            self.route_tail(g, who, inst % d, inst)
+        })
+    }
+
+    /// Tail multiset of one node across all instances.
+    fn tails(&self, g: &TemporalGraph, who: NodeId) -> HashMap<(NodeId, NodeId), usize> {
+        let mut map = HashMap::new();
+        for tail in self.instance_tails(g, who).into_iter().flatten() {
+            *map.entry(tail).or_insert(0) += 1;
         }
         map
     }
@@ -134,19 +140,19 @@ impl SybilDefense for SybilLimit {
             .iter()
             .map(|(&tail, &cnt)| (tail, cnt * 2))
             .collect();
+        // Route computation is the expensive, parallel part; the balance
+        // caps below are consumed serially in instance order so the match
+        // count is independent of thread count.
         let mut matched = 0usize;
-        for inst in 0..self.instances {
-            let d = g.degree(suspect);
-            if let Some(tail) = self.route_tail(g, suspect, inst % d, inst) {
-                // Tails are undirected-intersected: either direction works.
-                let rev = (tail.1, tail.0);
-                for key in [tail, rev] {
-                    if let Some(cap) = remaining.get_mut(&key) {
-                        if *cap > 0 {
-                            *cap -= 1;
-                            matched += 1;
-                            break;
-                        }
+        for tail in self.instance_tails(g, suspect).into_iter().flatten() {
+            // Tails are undirected-intersected: either direction works.
+            let rev = (tail.1, tail.0);
+            for key in [tail, rev] {
+                if let Some(cap) = remaining.get_mut(&key) {
+                    if *cap > 0 {
+                        *cap -= 1;
+                        matched += 1;
+                        break;
                     }
                 }
             }

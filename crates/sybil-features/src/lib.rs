@@ -26,7 +26,7 @@ pub mod invitation;
 pub mod ratios;
 pub mod temporal;
 
-use osn_graph::NodeId;
+use osn_graph::{par, CsrSnapshot, NeighborScratch, NodeId};
 use osn_sim::SimOutput;
 use serde::{Deserialize, Serialize};
 
@@ -71,10 +71,13 @@ impl FeatureVector {
 
 /// Computes [`FeatureVector`]s for the accounts of one simulation run.
 ///
-/// Construction builds per-account request indices once (`O(log)`); each
-/// `features_for` call is then cheap.
+/// Construction builds per-account request indices and a frozen
+/// [`CsrSnapshot`] of the friendship graph once; each `features_for` call
+/// is then cheap, and [`Self::features_for_all`] fans the per-account work
+/// out across threads (see `osn_graph::par`).
 pub struct FeatureExtractor<'a> {
     out: &'a SimOutput,
+    snap: CsrSnapshot,
     send_idx: Vec<Vec<u32>>,
     recv_idx: Vec<Vec<u32>>,
 }
@@ -85,6 +88,7 @@ impl<'a> FeatureExtractor<'a> {
         let n = out.accounts.len();
         FeatureExtractor {
             out,
+            snap: CsrSnapshot::freeze(&out.graph),
             send_idx: out.log.sender_index(n),
             recv_idx: out.log.receiver_index(n),
         }
@@ -107,6 +111,13 @@ impl<'a> FeatureExtractor<'a> {
 
     /// Compute the full feature vector for account `n`.
     pub fn features_for(&self, n: NodeId) -> FeatureVector {
+        let mut scratch = NeighborScratch::new(self.snap.num_nodes());
+        self.features_with_scratch(n, &mut scratch)
+    }
+
+    /// Shared kernel: the only clustering path, so `features_for` and the
+    /// parallel `features_for_all` cannot diverge.
+    fn features_with_scratch(&self, n: NodeId, scratch: &mut NeighborScratch) -> FeatureVector {
         let sent: Vec<osn_graph::Timestamp> = self.send_idx[n.index()]
             .iter()
             .map(|&i| self.out.log.get(i as usize).sent_at)
@@ -122,13 +133,21 @@ impl<'a> FeatureExtractor<'a> {
                 self.out,
                 &self.recv_idx[n.index()],
             ),
-            clustering_coefficient: clustering::first50_cc(&self.out.graph, n),
+            clustering_coefficient: self
+                .snap
+                .first_k_clustering(n, clustering::FIRST_K, scratch),
         }
     }
 
-    /// Feature vectors for a list of accounts.
+    /// Feature vectors for a list of accounts, extracted in parallel with
+    /// one [`NeighborScratch`] per worker. Output order and bits match the
+    /// serial `nodes.iter().map(|&n| self.features_for(n))` loop.
     pub fn features_for_all(&self, nodes: &[NodeId]) -> Vec<FeatureVector> {
-        nodes.iter().map(|&n| self.features_for(n)).collect()
+        par::map_indexed_with(
+            nodes.len(),
+            || NeighborScratch::new(self.snap.num_nodes()),
+            |scratch, i| self.features_with_scratch(nodes[i], scratch),
+        )
     }
 }
 

@@ -36,7 +36,8 @@ fn main() {
     );
 
     // Feature separation, one CDF pair per feature.
-    let feature_views: [(&str, fn(&FeatureVector) -> f64); 4] = [
+    type FeatureView = (&'static str, fn(&FeatureVector) -> f64);
+    let feature_views: [FeatureView; 4] = [
         ("invitations per active hour (Fig. 1)", |f| f.inv_freq_1h),
         ("outgoing accept ratio (Fig. 2)", |f| f.outgoing_accept_ratio),
         ("incoming accept ratio (Fig. 3)", |f| f.incoming_accept_ratio),

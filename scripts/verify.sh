@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 gate from ROADMAP.md plus a zero-warning
+# clippy pass. Run from the workspace root: ./scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== lint: cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

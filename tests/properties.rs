@@ -55,9 +55,9 @@ proptest! {
             uf.union(e.a.index(), e.b.index());
         }
         let dist = bfs::distances(&g, NodeId(0));
-        for i in 0..n {
+        for (i, d) in dist.iter().enumerate() {
             prop_assert_eq!(
-                dist[i].is_some(),
+                d.is_some(),
                 uf.connected(0, i),
                 "node {} reachability mismatch", i
             );

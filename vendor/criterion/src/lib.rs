@@ -1,0 +1,130 @@
+//! Offline-compatible subset of `criterion`.
+//!
+//! Implements just enough of the criterion API for this workspace's
+//! benches to compile and produce wall-clock timings: [`Criterion`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. There is no statistical analysis; each
+//! `bench_function` runs a fixed number of timed batches and reports the
+//! fastest mean iteration time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench harness handle.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed batches each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time a closure-driven benchmark and print the result.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let best = bencher
+            .samples
+            .iter()
+            .min()
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        println!("bench {id:<40} {:>12.3?}/iter ({} samples)", best, bencher.samples.len());
+        self
+    }
+}
+
+/// Passed to the benchmark closure; drives timed iterations.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, recording mean per-iteration time per batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then calibrate a batch size targeting ~20ms.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_batch);
+        }
+    }
+}
+
+/// Group benchmark functions under a config, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate a `main` that runs benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum_small", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+
+    #[test]
+    fn shorthand_group_compiles() {
+        criterion_group!(quick, sample_bench);
+        quick();
+    }
+}

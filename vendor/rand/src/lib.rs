@@ -1,0 +1,290 @@
+//! Offline-compatible subset of the `rand` crate API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of `rand` it actually uses:
+//! [`StdRng`] (a deterministic xoshiro256++ generator seeded through
+//! SplitMix64), the [`Rng`]/[`RngExt`]/[`SeedableRng`] traits with ranged
+//! sampling over the integer and float primitives, and slice shuffling via
+//! [`seq::SliceRandom`].
+//!
+//! Everything is fully deterministic given a seed; there is deliberately
+//! no entropy source. The stream differs from upstream `rand`'s ChaCha12
+//! `StdRng`, which only matters to tests that hard-code expectations about
+//! a specific seed's output — repository tests assert seed-stability and
+//! statistical behavior instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level generator interface: a source of uniform random words.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive; integer or
+    /// float primitives).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self.next_u64())
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    fn random_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "zero denominator");
+        assert!(numerator <= denominator, "ratio above one");
+        (self.next_u64() % denominator as u64) < numerator as u64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Extension methods split out of [`Rng`] by upstream `rand` 0.10; the
+/// vendored subset keeps the trait (code bounds on `Rng + RngExt`) and
+/// forwards everything to [`Rng`].
+pub trait RngExt: Rng {}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Deterministic construction from seed material.
+pub trait SeedableRng: Sized {
+    /// Derive a full generator state from a 64-bit seed (SplitMix64
+    /// expansion, as recommended by the xoshiro authors).
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Derive a fresh generator from another generator's output.
+    fn from_rng<R: RngCore + ?Sized>(source: &mut R) -> Self {
+        Self::seed_from_u64(source.next_u64())
+    }
+}
+
+/// Map a `u64` to a uniform `f64` in `[0, 1)` using the high 53 bits.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that ranged sampling ([`Rng::random_range`]) can produce.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// A uniform sample from `[lo, hi)` — or `[lo, hi]` when `inclusive` —
+    /// derived from one random word.
+    fn sample_uniform(lo: Self, hi: Self, inclusive: bool, word: u64) -> Self;
+}
+
+/// Ranges that can be sampled for output type `T`.
+///
+/// The impls are generic over `T` (like upstream rand's) so that a range
+/// literal such as `0.7..1.3` pins the output type for inference.
+pub trait SampleRange<T> {
+    /// Draw one sample from `word`, a fresh uniform random word.
+    fn sample_from(self, word: u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_from(self, word: u64) -> T {
+        assert!(self.start < self.end, "empty range in random_range");
+        T::sample_uniform(self.start, self.end, false, word)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from(self, word: u64) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty inclusive range in random_range");
+        T::sample_uniform(lo, hi, true, word)
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform(lo: Self, hi: Self, inclusive: bool, word: u64) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                (lo as i128 + (word as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_uniform(lo: Self, hi: Self, inclusive: bool, word: u64) -> Self {
+                let v = lo + (unit_f64(word) as $t) * (hi - lo);
+                // Floating rounding may land exactly on `hi`; pull a
+                // half-open sample back inside.
+                if !inclusive && v >= hi { lo } else { v }
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Small, fast, passes BigCrush, and — unlike upstream's ChaCha12 —
+/// trivially auditable offline. Seeded through SplitMix64 so that similar
+/// `u64` seeds still yield decorrelated streams.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let s = [
+            Self::splitmix64(&mut sm),
+            Self::splitmix64(&mut sm),
+            Self::splitmix64(&mut sm),
+            Self::splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Convenience re-exports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::{SmallRng, StdRng};
+    pub use crate::seq::{IndexedRandom, SliceRandom};
+    pub use crate::{Rng, RngCore, RngExt, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u64 = rng.random_range(5..=5);
+            assert_eq!(y, 5);
+            let f: f64 = rng.random_range(0.25..0.5);
+            assert!((0.25..0.5).contains(&f));
+            let g: f64 = rng.random_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&g));
+            let n: i64 = rng.random_range(-10..10);
+            assert!((-10..10).contains(&n));
+        }
+    }
+
+    #[test]
+    fn unit_interval_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| rng.random_range(0.0..1.0))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn random_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2800..3200).contains(&hits), "hits {hits}");
+        assert_eq!((0..100).filter(|_| rng.random_bool(0.0)).count(), 0);
+        assert_eq!((0..100).filter(|_| rng.random_bool(1.0)).count(), 100);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn from_rng_derives_new_stream() {
+        let mut base = StdRng::seed_from_u64(5);
+        let mut derived = StdRng::from_rng(&mut base);
+        assert_ne!(derived.next_u64(), base.next_u64());
+    }
+}

@@ -1,0 +1,7 @@
+//! Named generator types (`rand::rngs`).
+
+pub use crate::StdRng;
+
+/// Alias of [`StdRng`]: in this vendored subset the "small" generator and
+/// the standard one are the same xoshiro256++ core.
+pub type SmallRng = StdRng;

@@ -1,0 +1,62 @@
+//! Sequence-related random operations (`rand::seq`).
+
+use crate::Rng;
+
+/// In-place slice shuffling.
+pub trait SliceRandom {
+    /// Shuffle the slice with a Fisher–Yates pass.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Random element selection from slices.
+pub trait IndexedRandom {
+    /// The element type.
+    type Item;
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, StdRng};
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let one = [9u8];
+        assert_eq!(one.choose(&mut rng), Some(&9));
+    }
+
+    #[test]
+    fn shuffle_of_len_one_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = vec![3];
+        v.shuffle(&mut rng);
+        assert_eq!(v, vec![3]);
+    }
+}

@@ -1,0 +1,492 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! The offline build environment has neither `syn` nor `quote`, so this
+//! crate parses the derive input token stream by hand. Supported shapes —
+//! which cover every derived type in the workspace — are:
+//!
+//! * named-field structs (with `#[serde(skip)]` / `#[serde(default)]`),
+//! * tuple structs (newtype structs serialize transparently),
+//! * enums with unit, tuple, or struct variants.
+//!
+//! Generic types are rejected with a compile error rather than silently
+//! miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: its name (or tuple index), and serde flags.
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+/// The shape of one enum variant's payload.
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// The parsed derive input.
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Scan a `#[...]` attribute group for `serde(<flags>)` markers.
+fn scan_attr(group: &proc_macro::Group, skip: &mut bool, default: &mut bool) {
+    let mut tokens = group.stream().into_iter();
+    let Some(TokenTree::Ident(head)) = tokens.next() else {
+        return;
+    };
+    if head.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = tokens.next() else {
+        return;
+    };
+    for tok in args.stream() {
+        if let TokenTree::Ident(flag) = tok {
+            match flag.to_string().as_str() {
+                "skip" | "skip_serializing" | "skip_deserializing" => *skip = true,
+                "default" => *default = true,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parse the fields of a named-field struct body.
+fn parse_named_fields(body: proc_macro::Group) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.stream().into_iter().peekable();
+    loop {
+        let mut skip = false;
+        let mut default = false;
+        // Attributes (doc comments included).
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        scan_attr(&g, &mut skip, &mut default);
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            tokens.next();
+            if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                tokens.next();
+            }
+        }
+        // Field name.
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in struct body: {other}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected ':' after field `{name}`")),
+        }
+        // Skip the type up to a top-level comma (tracking angle depth;
+        // parens/brackets/braces arrive as single grouped tokens).
+        let mut angle = 0i32;
+        for tok in tokens.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    Ok(fields)
+}
+
+/// Count the fields of a tuple-struct/tuple-variant parenthesized body.
+fn tuple_arity(body: &proc_macro::Group) -> usize {
+    let mut arity = 0usize;
+    let mut angle = 0i32;
+    let mut saw_token = false;
+    for tok in body.stream() {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                arity += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        arity += 1;
+    }
+    arity
+}
+
+/// Parse the variants of an enum body.
+fn parse_variants(body: proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.stream().into_iter().peekable();
+    loop {
+        // Attributes.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        let mut kind = VariantKind::Unit;
+        if let Some(TokenTree::Group(g)) = tokens.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    kind = VariantKind::Tuple(tuple_arity(g));
+                    tokens.next();
+                }
+                Delimiter::Brace => {
+                    kind = VariantKind::Struct(parse_named_fields(g.clone())?);
+                    tokens.next();
+                }
+                _ => {}
+            }
+        }
+        // Skip an optional discriminant and the trailing comma.
+        for tok in tokens.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Parse a derive input item (struct or enum definition).
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Outer attributes.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+            }
+            _ => break,
+        }
+    }
+    // Visibility.
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic type `{name}` is not supported by the vendored serde derive"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g)?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: tuple_arity(&g),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g)?,
+            }),
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let (name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Map(vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Seq(vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{0} => ::serde::Value::Str(\"{0}\".to_string())",
+                        v.name
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{name}::{0}(x0) => ::serde::Value::Map(vec![(\"{0}\".to_string(), \
+                         ::serde::Serialize::to_value(x0))])",
+                        v.name
+                    ),
+                    VariantKind::Tuple(k) => {
+                        let binds: Vec<String> = (0..*k).map(|i| format!("x{i}")).collect();
+                        let vals: Vec<String> = (0..*k)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{0}({1}) => ::serde::Value::Map(vec![(\"{0}\".to_string(), \
+                             ::serde::Value::Seq(vec![{2}]))])",
+                            v.name,
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.clone())
+                            .collect();
+                        let vals: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{0} {{ {1} .. }} => ::serde::Value::Map(vec![\
+                             (\"{0}\".to_string(), ::serde::Value::Map(vec![{2}]))])",
+                            v.name,
+                            binds.iter().map(|b| format!("{b}, ")).collect::<String>(),
+                            vals.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(", ")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Generate the `name: <expr>` initializer that rebuilds one named field
+/// from the map value bound to `v`, honoring `skip` / `default` flags.
+fn named_field_init(f: &Field) -> String {
+    if f.skip {
+        format!("{}: ::core::default::Default::default()", f.name)
+    } else if f.default {
+        format!(
+            "{0}: match v.get(\"{0}\") {{ \
+             Some(x) => ::serde::Deserialize::from_value(x)?, \
+             None => ::core::default::Default::default() }}",
+            f.name
+        )
+    } else {
+        format!(
+            "{0}: ::serde::Deserialize::from_value(v.get(\"{0}\")\
+             .ok_or_else(|| ::serde::Error::custom(\"missing field {0}\"))?)?",
+            f.name
+        )
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let (name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields.iter().map(named_field_init).collect();
+            (name, format!("Ok({name} {{ {} }})", inits.join(", ")))
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let gets: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i})\
+                         .ok_or_else(|| ::serde::Error::custom(\"tuple too short\"))?)?"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "match v {{ ::serde::Value::Seq(items) => Ok({name}({})), \
+                     _ => Err(::serde::Error::custom(\"expected sequence\")) }}",
+                    gets.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => (name, format!("Ok({name})")),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0})", v.name))
+                .collect();
+            let map_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Tuple(1) => Some(format!(
+                        "\"{0}\" => Ok({name}::{0}(::serde::Deserialize::from_value(payload)?))",
+                        v.name
+                    )),
+                    VariantKind::Tuple(k) => {
+                        let gets: Vec<String> = (0..*k)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(items.get({i})\
+                                     .ok_or_else(|| ::serde::Error::custom(\"variant tuple too \
+                                     short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{0}\" => match payload {{ ::serde::Value::Seq(items) => \
+                             Ok({name}::{0}({1})), _ => Err(::serde::Error::custom(\"expected \
+                             variant sequence\")) }}",
+                            v.name,
+                            gets.join(", ")
+                        ))
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields.iter().map(named_field_init).collect();
+                        Some(format!(
+                            "\"{0}\" => {{ let v = payload; Ok({name}::{0} {{ {1} }}) }}",
+                            v.name,
+                            inits.join(", ")
+                        ))
+                    }
+                    VariantKind::Unit => None,
+                })
+                .collect();
+            let body = format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{ {units}, _ => \
+                 Err(::serde::Error::custom(\"unknown variant\")) }},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{ {maps}, _ => \
+                 Err(::serde::Error::custom(\"unknown variant\")) }}\n\
+                 }},\n\
+                 _ => Err(::serde::Error::custom(\"expected enum value\"))\n\
+                 }}",
+                units = if unit_arms.is_empty() {
+                    "_ if false => unreachable!()".to_string()
+                } else {
+                    unit_arms.join(", ")
+                },
+                maps = if map_arms.is_empty() {
+                    "_ if false => unreachable!()".to_string()
+                } else {
+                    map_arms.join(", ")
+                },
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> \
+         {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
