@@ -5,6 +5,7 @@
 //! so the expensive simulated datasets are built once per bench binary.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use osn_sim::{simulate, SimConfig, SimOutput};
 use std::sync::OnceLock;

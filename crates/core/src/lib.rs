@@ -21,7 +21,7 @@
 //! and cross-validation machinery behind Table 1.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adaptive;
 pub mod bayes;

@@ -27,13 +27,12 @@ pub fn distances(g: &TemporalGraph, start: NodeId) -> Vec<Option<u32>> {
     let mut dist: Vec<Option<u32>> = vec![None; g.num_nodes()];
     let mut q = VecDeque::new();
     dist[start.index()] = Some(0);
-    q.push_back(start);
-    while let Some(u) = q.pop_front() {
-        let du = dist[u.index()].expect("queued node has a distance");
+    q.push_back((start, 0u32));
+    while let Some((u, du)) = q.pop_front() {
         for nb in g.neighbors(u) {
             if dist[nb.node.index()].is_none() {
                 dist[nb.node.index()] = Some(du + 1);
-                q.push_back(nb.node);
+                q.push_back((nb.node, du + 1));
             }
         }
     }
@@ -48,16 +47,15 @@ pub fn shortest_path_len(g: &TemporalGraph, a: NodeId, b: NodeId) -> Option<u32>
     let mut dist: Vec<Option<u32>> = vec![None; g.num_nodes()];
     let mut q = VecDeque::new();
     dist[a.index()] = Some(0);
-    q.push_back(a);
-    while let Some(u) = q.pop_front() {
-        let du = dist[u.index()].expect("queued node has a distance");
+    q.push_back((a, 0u32));
+    while let Some((u, du)) = q.pop_front() {
         for nb in g.neighbors(u) {
             if dist[nb.node.index()].is_none() {
                 if nb.node == b {
                     return Some(du + 1);
                 }
                 dist[nb.node.index()] = Some(du + 1);
-                q.push_back(nb.node);
+                q.push_back((nb.node, du + 1));
             }
         }
     }
@@ -70,9 +68,8 @@ pub fn ball(g: &TemporalGraph, start: NodeId, radius: u32) -> Vec<NodeId> {
     let mut dist: Vec<Option<u32>> = vec![None; g.num_nodes()];
     let mut q = VecDeque::new();
     dist[start.index()] = Some(0);
-    q.push_back(start);
-    while let Some(u) = q.pop_front() {
-        let du = dist[u.index()].expect("queued node has a distance");
+    q.push_back((start, 0u32));
+    while let Some((u, du)) = q.pop_front() {
         out.push(u);
         if du == radius {
             continue;
@@ -80,7 +77,7 @@ pub fn ball(g: &TemporalGraph, start: NodeId, radius: u32) -> Vec<NodeId> {
         for nb in g.neighbors(u) {
             if dist[nb.node.index()].is_none() {
                 dist[nb.node.index()] = Some(du + 1);
-                q.push_back(nb.node);
+                q.push_back((nb.node, du + 1));
             }
         }
     }

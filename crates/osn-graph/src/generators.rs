@@ -101,9 +101,9 @@ pub fn barabasi_albert<R: Rng + ?Sized>(
         }
         // Sort for determinism: HashSet iteration order is randomized per
         // process, and edge-insertion order feeds back into later draws.
-        let mut chosen: Vec<u32> = chosen.into_iter().collect();
-        chosen.sort_unstable();
-        for u in chosen {
+        let mut picked: Vec<u32> = chosen.into_iter().collect();
+        picked.sort_unstable();
+        for u in picked {
             if g.add_edge(NodeId(v as u32), NodeId(u), t).is_ok() {
                 endpoints.push(v as u32);
                 endpoints.push(u);
@@ -174,8 +174,9 @@ pub fn configuration_model<R: Rng + ?Sized>(
     // Greedy pairing with bounded retries for rejected pairs.
     let mut retries = 0usize;
     while stubs.len() >= 2 {
-        let b = stubs.pop().expect("len >= 2");
-        let a = stubs.pop().expect("len >= 1");
+        let (Some(b), Some(a)) = (stubs.pop(), stubs.pop()) else {
+            break; // len checked above; keeps the pairing panic-free
+        };
         if a != b && g.add_edge(NodeId(a), NodeId(b), t).is_ok() {
             retries = 0;
             continue;

@@ -48,7 +48,7 @@
 //! * [`io`] — CSV edge-list import/export.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bfs;
 pub mod cascade;

@@ -24,10 +24,12 @@ pub struct CutStats {
 /// Compute [`CutStats`] for the node set `set`.
 pub fn cut_stats(g: &TemporalGraph, set: &[NodeId]) -> CutStats {
     let members: HashSet<NodeId> = set.iter().copied().collect();
+    let mut ordered: Vec<NodeId> = members.iter().copied().collect();
+    ordered.sort_unstable();
     let mut internal = 0usize;
     let mut crossing = 0usize;
     let mut audience: HashSet<NodeId> = HashSet::new();
-    for &n in &members {
+    for &n in &ordered {
         for nb in g.neighbors(n) {
             if members.contains(&nb.node) {
                 internal += 1; // counted from both sides; halve below
@@ -49,9 +51,11 @@ pub fn cut_stats(g: &TemporalGraph, set: &[NodeId]) -> CutStats {
 /// either side has zero volume.
 pub fn conductance(g: &TemporalGraph, set: &[NodeId]) -> Option<f64> {
     let members: HashSet<NodeId> = set.iter().copied().collect();
+    let mut ordered: Vec<NodeId> = members.iter().copied().collect();
+    ordered.sort_unstable();
     let mut vol_s = 0usize;
     let mut cut = 0usize;
-    for &n in &members {
+    for &n in &ordered {
         vol_s += g.degree(n);
         for nb in g.neighbors(n) {
             if !members.contains(&nb.node) {

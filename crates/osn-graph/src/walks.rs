@@ -44,7 +44,7 @@ pub fn walk_endpoint<R: Rng + ?Sized>(
     len: usize,
     rng: &mut R,
 ) -> NodeId {
-    *random_walk(g, start, len, rng).last().expect("non-empty")
+    random_walk(g, start, len, rng).last().copied().unwrap_or(start)
 }
 
 /// Per-node random routing tables for SybilGuard/SybilLimit random routes.

@@ -29,7 +29,7 @@
 //! given a seed.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod account;
 pub mod config;

@@ -130,3 +130,29 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+/// Exporting the same simulation twice must produce byte-identical files:
+/// the dataset emitters iterate in a total order (lint rule D001 guards
+/// the code paths), so dataset bytes are a pure function of the config.
+#[test]
+fn dataset_export_is_byte_identical() {
+    let out = simulate(SimConfig::tiny(42));
+    let base = std::env::temp_dir().join(format!("osn_sim_det_{}", std::process::id()));
+    let (a, b) = (base.join("a"), base.join("b"));
+    let _ = std::fs::remove_dir_all(&base);
+    osn_sim::io::export_dataset(&out, &a).expect("export a");
+    osn_sim::io::export_dataset(&out, &b).expect("export b");
+
+    let mut names: Vec<String> = std::fs::read_dir(&a)
+        .expect("read dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "export produced no files");
+    for name in &names {
+        let bytes_a = std::fs::read(a.join(name)).expect("read a");
+        let bytes_b = std::fs::read(b.join(name)).expect("read b");
+        assert_eq!(bytes_a, bytes_b, "{name} differs between identical exports");
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}

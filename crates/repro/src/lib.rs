@@ -29,7 +29,7 @@
 //! `cargo run --release -p sybil-repro --bin repro -- all`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod defenses;
 pub mod deployment;

@@ -13,7 +13,7 @@
 //! `osn-graph` substrate, with a shared evaluation harness.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod common;
 pub mod ranking;

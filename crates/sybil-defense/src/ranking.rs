@@ -59,8 +59,9 @@ impl ConductanceRanking {
             // Push.
             *p.entry(u).or_insert(0.0) += self.alpha * ru;
             let spread = (1.0 - self.alpha) * ru / (2.0 * d);
-            r.insert(u, (1.0 - self.alpha) * ru / 2.0);
-            if *r.get(&u).expect("just inserted") >= self.epsilon * d && queued.insert(u) {
+            let ru_residual = (1.0 - self.alpha) * ru / 2.0;
+            r.insert(u, ru_residual);
+            if ru_residual >= self.epsilon * d && queued.insert(u) {
                 queue.push_back(u);
             }
             for nb in g.neighbors(u) {

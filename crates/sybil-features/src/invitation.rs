@@ -10,7 +10,7 @@
 //! normal user who sends two or three invitations per session scores 2–3.
 
 use osn_graph::Timestamp;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Average invitations per non-empty `window_h`-hour window.
 /// Returns 0.0 when no invitations were sent.
@@ -19,8 +19,8 @@ pub fn mean_per_active_window(sent: &[Timestamp], window_h: u64) -> f64 {
         return 0.0;
     }
     let w = window_h.max(1) * 3600;
-    let t0 = sent.iter().min().expect("non-empty").as_secs();
-    let mut counts: HashMap<u64, u32> = HashMap::new();
+    let t0 = sent.iter().map(|t| t.as_secs()).min().unwrap_or(0);
+    let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
     for t in sent {
         *counts.entry((t.as_secs() - t0) / w).or_insert(0) += 1;
     }
@@ -35,8 +35,8 @@ pub fn max_per_window(sent: &[Timestamp], window_h: u64) -> u32 {
         return 0;
     }
     let w = window_h.max(1) * 3600;
-    let t0 = sent.iter().min().expect("non-empty").as_secs();
-    let mut counts: HashMap<u64, u32> = HashMap::new();
+    let t0 = sent.iter().map(|t| t.as_secs()).min().unwrap_or(0);
+    let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
     for t in sent {
         *counts.entry((t.as_secs() - t0) / w).or_insert(0) += 1;
     }

@@ -18,7 +18,7 @@
 //! paper's 1000 + 1000 hand-verified set.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod clustering;
 pub mod dataset;

@@ -70,8 +70,11 @@ impl EdgeOrderColumn {
         if k < min_edges {
             return false;
         }
-        let first = self.sybil_positions[0];
-        let last = *self.sybil_positions.last().expect("non-empty");
+        let (Some(&first), Some(&last)) =
+            (self.sybil_positions.first(), self.sybil_positions.last())
+        else {
+            return false; // no Sybil edges at all (only when min_edges == 0)
+        };
         first <= prefix_slack && last - first + 1 == k
     }
 }

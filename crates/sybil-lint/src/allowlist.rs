@@ -1,0 +1,257 @@
+//! The `lint.toml` allowlist: reviewed exceptions with mandatory
+//! justifications.
+//!
+//! Format — a sequence of `[[allow]]` tables, parsed by a tiny TOML-subset
+//! reader (the workspace vendors no TOML crate):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "D003"
+//! path = "crates/sybil-defense/src/ranking.rs"
+//! # optional: restrict to one line
+//! line = 28
+//! justification = "memo cache behind a Mutex; results are value-identical"
+//! ```
+//!
+//! `rule`, `path`, and a non-trivial `justification` (≥ 15 characters) are
+//! required; unknown keys and malformed lines are hard errors so the file
+//! cannot silently rot.
+
+use crate::report::Finding;
+
+/// One reviewed exception.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule code the entry silences (`D001`…`D006`).
+    pub rule: String,
+    /// Workspace-relative path the entry applies to.
+    pub path: String,
+    /// Optional 1-based line restriction; `None` covers the whole file.
+    pub line: Option<u32>,
+    /// Why this exception is sound — mandatory, non-trivial.
+    pub justification: String,
+}
+
+/// A parsed allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// All entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// The entry covering `f`, if any: rule and path must match exactly,
+    /// and the entry's `line` (when present) must equal the finding's.
+    pub fn matching(&self, f: &Finding) -> Option<&AllowEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.rule == f.rule && e.path == f.path && e.line.is_none_or(|l| l == f.line))
+    }
+}
+
+/// Parse `lint.toml` content. Errors carry the offending line number.
+pub fn parse(content: &str) -> Result<Allowlist, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut cur: Option<PartialEntry> = None;
+    for (i, raw) in content.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(p) = cur.take() {
+                entries.push(p.finish(lineno)?);
+            }
+            cur = Some(PartialEntry::default());
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {lineno}: unknown table {line:?} (only [[allow]] is supported)"
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = value`, got {line:?}"));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let Some(p) = cur.as_mut() else {
+            return Err(format!(
+                "line {lineno}: key {key:?} outside an [[allow]] table"
+            ));
+        };
+        match key {
+            "rule" => p.rule = Some(parse_string(value, lineno)?),
+            "path" => p.path = Some(parse_string(value, lineno)?),
+            "justification" => p.justification = Some(parse_string(value, lineno)?),
+            "line" => {
+                p.line = Some(value.parse::<u32>().map_err(|_| {
+                    format!("line {lineno}: `line` must be an integer, got {value:?}")
+                })?)
+            }
+            _ => {
+                return Err(format!(
+                    "line {lineno}: unknown key {key:?} (allowed: rule, path, line, justification)"
+                ))
+            }
+        }
+    }
+    if let Some(p) = cur.take() {
+        let end = content.lines().count();
+        entries.push(p.finish(end)?);
+    }
+    Ok(Allowlist { entries })
+}
+
+#[derive(Default)]
+struct PartialEntry {
+    rule: Option<String>,
+    path: Option<String>,
+    line: Option<u32>,
+    justification: Option<String>,
+}
+
+impl PartialEntry {
+    fn finish(self, lineno: usize) -> Result<AllowEntry, String> {
+        let rule = self
+            .rule
+            .ok_or_else(|| format!("entry ending at line {lineno}: missing `rule`"))?;
+        if !crate::rules::ALL_RULES.contains(&rule.as_str()) {
+            return Err(format!(
+                "entry ending at line {lineno}: unknown rule {rule:?}"
+            ));
+        }
+        let path = self
+            .path
+            .ok_or_else(|| format!("entry ending at line {lineno}: missing `path`"))?;
+        let justification = self.justification.ok_or_else(|| {
+            format!("entry ending at line {lineno}: missing `justification`")
+        })?;
+        if justification.trim().len() < 15 {
+            return Err(format!(
+                "entry ending at line {lineno}: justification {justification:?} is too \
+                 short — explain *why* the exception is sound (≥ 15 chars)"
+            ));
+        }
+        Ok(AllowEntry {
+            rule,
+            path,
+            line: self.line,
+            justification,
+        })
+    }
+}
+
+/// Strip a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Parse a double-quoted TOML string with basic escapes.
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() < 2 || !v.starts_with('"') || !v.ends_with('"') {
+        return Err(format!(
+            "line {lineno}: expected a double-quoted string, got {value:?}"
+        ));
+    }
+    let inner = &v[1..v.len() - 1];
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => {
+                    return Err(format!("line {lineno}: unsupported escape `\\{other}`"))
+                }
+                None => return Err(format!("line {lineno}: dangling escape")),
+            }
+        } else if c == '"' {
+            return Err(format!("line {lineno}: unescaped quote inside string"));
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# reviewed exceptions
+[[allow]]
+rule = "D003"
+path = "crates/sybil-defense/src/ranking.rs"
+justification = "memo cache; results value-identical under any interleaving"
+
+[[allow]]
+rule = "D004"
+path = "crates/core/src/eval.rs"
+line = 12
+justification = "index comes from the same vec's enumerate()"
+"#;
+
+    #[test]
+    fn parses_entries() {
+        let a = parse(GOOD).unwrap();
+        assert_eq!(a.entries.len(), 2);
+        assert_eq!(a.entries[0].rule, "D003");
+        assert_eq!(a.entries[1].line, Some(12));
+    }
+
+    #[test]
+    fn matching_respects_line() {
+        let a = parse(GOOD).unwrap();
+        let mk = |line| Finding {
+            rule: "D004",
+            path: "crates/core/src/eval.rs".into(),
+            line,
+            col: 1,
+            message: String::new(),
+            snippet: String::new(),
+        };
+        assert!(a.matching(&mk(12)).is_some());
+        assert!(a.matching(&mk(13)).is_none());
+    }
+
+    #[test]
+    fn rejects_missing_justification() {
+        let err = parse("[[allow]]\nrule = \"D001\"\npath = \"x.rs\"\n").unwrap_err();
+        assert!(err.contains("missing `justification`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trivial_justification() {
+        let err = parse(
+            "[[allow]]\nrule = \"D001\"\npath = \"x.rs\"\njustification = \"because\"\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("too"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_rule_and_keys() {
+        assert!(parse("[[allow]]\nrule = \"D999\"\npath = \"x\"\njustification = \"long enough to pass\"\n").is_err());
+        assert!(parse("[[allow]]\nfoo = \"bar\"\n").is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # sybil-lint — workspace determinism & invariant auditor
+//!
+//! PR 1 made every analytics path bit-identical across thread counts;
+//! this crate *enforces* the invariants that guarantee rests on. A
+//! lightweight Rust lexer ([`lexer`]) feeds a per-file rule engine
+//! ([`rules`]) that audits the whole workspace ([`workspace`]) and exits
+//! nonzero on violations not covered by the reviewed `lint.toml`
+//! allowlist ([`allowlist`]). Output comes in human and `--format json`
+//! flavors ([`report`]).
+//!
+//! The rules:
+//!
+//! | code | invariant |
+//! |------|-----------|
+//! | D001 | no unordered `HashMap`/`HashSet` iteration in library code |
+//! | D002 | no wall-clock reads outside `crates/bench` and the repro CLI |
+//! | D003 | no raw threading primitives outside `osn_graph::par` |
+//! | D004 | no panics (`unwrap`/`expect`/`panic!`) in non-test library code |
+//! | D005 | every library crate carries `#![forbid(unsafe_code)]` |
+//! | D006 | only explicitly seeded RNGs — no entropy sources |
+//!
+//! No external parser dependencies: the lexer is ~300 lines and the TOML
+//! allowlist reader handles exactly the subset `lint.toml` uses.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use allowlist::{Allowlist, AllowEntry};
+pub use report::{Finding, Report};
+pub use rules::{check_file, FileCtx, FileKind};

@@ -1,0 +1,177 @@
+//! The `sybil-lint` CLI.
+//!
+//! ```text
+//! sybil-lint --workspace [--format human|json] [--root DIR]
+//!            [--allowlist FILE | --no-allowlist] [--list-rules] [PATH...]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unallowlisted violations, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use sybil_lint::workspace::{self, SourceFile};
+use sybil_lint::{allowlist, report, rules};
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    root: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+    no_allowlist: bool,
+    list_rules: bool,
+    paths: Vec<PathBuf>,
+}
+
+const USAGE: &str = "usage: sybil-lint [--workspace] [--format human|json] [--root DIR] \
+                     [--allowlist FILE] [--no-allowlist] [--list-rules] [PATH...]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        json: false,
+        root: None,
+        allowlist: None,
+        no_allowlist: false,
+        list_rules: false,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("human") => args.json = false,
+                other => return Err(format!("--format expects human|json, got {other:?}")),
+            },
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root expects a directory")?,
+                ))
+            }
+            "--allowlist" => {
+                args.allowlist = Some(PathBuf::from(
+                    it.next().ok_or("--allowlist expects a file")?,
+                ))
+            }
+            "--no-allowlist" => args.no_allowlist = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            p if !p.starts_with('-') => args.paths.push(PathBuf::from(p)),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if !args.workspace && args.paths.is_empty() && !args.list_rules {
+        return Err(format!("nothing to lint\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for code in rules::ALL_RULES {
+            println!("{code}  {}", rules::rule_summary(code));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = match args
+        .root
+        .clone()
+        .or_else(|| workspace::find_root(&cwd))
+    {
+        Some(r) => r,
+        None => {
+            eprintln!("sybil-lint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Gather files: whole workspace and/or explicit paths.
+    let mut files: Vec<SourceFile> = Vec::new();
+    if args.workspace {
+        match workspace::discover(&root) {
+            Ok(fs) => files.extend(fs),
+            Err(e) => {
+                eprintln!("sybil-lint: workspace discovery failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for p in &args.paths {
+        let abs = if p.is_absolute() { p.clone() } else { cwd.join(p) };
+        let rel = abs
+            .strip_prefix(&root)
+            .unwrap_or(&abs)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push(SourceFile {
+            kind: workspace::classify(&rel),
+            crate_name: rel
+                .strip_prefix("crates/")
+                .and_then(|r| r.split('/').next())
+                .unwrap_or("root")
+                .to_string(),
+            abs,
+            rel,
+        });
+    }
+
+    // Load the allowlist (default <root>/lint.toml; absence is fine).
+    let allow = if args.no_allowlist {
+        allowlist::Allowlist::default()
+    } else {
+        let path = args
+            .allowlist
+            .clone()
+            .unwrap_or_else(|| root.join("lint.toml"));
+        match std::fs::read_to_string(&path) {
+            Ok(content) => match allowlist::parse(&content) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("sybil-lint: {}: {e}", display(&path));
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) if args.allowlist.is_none() => allowlist::Allowlist::default(),
+            Err(e) => {
+                eprintln!("sybil-lint: cannot read {}: {e}", display(&path));
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let rep = match workspace::run(&files, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sybil-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        print!("{}", report::render_json(&rep));
+    } else {
+        print!("{}", report::render_human(&rep));
+    }
+    if rep.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn display(p: &Path) -> String {
+    p.to_string_lossy().into_owned()
+}

@@ -1,0 +1,726 @@
+//! The determinism & invariant rules (D001–D006).
+//!
+//! Each rule is a pattern pass over the token stream of one file, plus a
+//! file-classification gate (library vs. binary vs. test code). Rules are
+//! deliberately heuristic — they key on names and token shapes, not
+//! types — but every heuristic errs toward *flagging*, and the
+//! `lint.toml` allowlist (with mandatory justifications) absorbs the
+//! reviewed exceptions. See DESIGN.md §"Determinism invariants & lint
+//! policy" for the rationale behind each rule.
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::report::Finding;
+
+/// How a source file participates in the build — determines which rules
+/// apply to it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code (`src/**` minus `src/bin/**`): all rules apply.
+    Lib,
+    /// Binary targets (`src/bin/**`, `src/main.rs`): runtime rules
+    /// (D002/D003/D006) apply; panic policy (D001/D004) does not.
+    Bin,
+    /// Integration tests, benches, examples: exempt from all per-token
+    /// rules (test code may use wall clocks, unwraps, hash iteration).
+    Test,
+}
+
+/// Everything a rule needs to know about one file.
+pub struct FileCtx<'s> {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: &'s str,
+    /// The crate this file belongs to (package name).
+    pub crate_name: &'s str,
+    /// Build role of the file.
+    pub kind: FileKind,
+    /// Full source text.
+    pub src: &'s str,
+}
+
+/// All rule codes, in order.
+pub const ALL_RULES: [&str; 6] = ["D001", "D002", "D003", "D004", "D005", "D006"];
+
+/// One-line summary per rule code (for `--list-rules` and diagnostics).
+pub fn rule_summary(code: &str) -> &'static str {
+    match code {
+        "D001" => "unordered HashMap/HashSet iteration in library code (use BTreeMap or sort before emit)",
+        "D002" => "wall-clock read (Instant::now / SystemTime) outside bench and the repro CLI",
+        "D003" => "raw threading primitive (thread::spawn / Mutex / atomics) outside osn_graph::par",
+        "D004" => "panic in non-test library code (unwrap / expect / panic! / todo! / unreachable!)",
+        "D005" => "library crate missing #![forbid(unsafe_code)]",
+        "D006" => "entropy-seeded RNG (thread_rng / OsRng / from_entropy / rand::random)",
+        _ => "unknown rule",
+    }
+}
+
+/// Lint one file, returning all findings (allowlist not yet applied).
+pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let toks = lex(ctx.src);
+    let test_spans = test_line_spans(ctx.src, &toks);
+    let in_test = |line: u32| test_spans.iter().any(|&(a, b)| line >= a && line <= b);
+    let mut out = Vec::new();
+
+    if ctx.kind != FileKind::Test {
+        if ctx.kind == FileKind::Lib {
+            d001_unordered_iteration(ctx, &toks, &in_test, &mut out);
+            d004_panic_policy(ctx, &toks, &in_test, &mut out);
+        }
+        d002_wall_clock(ctx, &toks, &in_test, &mut out);
+        d003_threading(ctx, &toks, &in_test, &mut out);
+        d006_rng_hygiene(ctx, &toks, &in_test, &mut out);
+    }
+    // D005 applies to the crate-root file regardless of anything else.
+    if ctx.rel_path.ends_with("src/lib.rs") {
+        d005_forbid_unsafe(ctx, &toks, &mut out);
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+fn finding(ctx: &FileCtx<'_>, rule: &'static str, tok: &Token, message: String) -> Finding {
+    Finding {
+        rule,
+        path: ctx.rel_path.to_string(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        snippet: line_text(ctx.src, tok.line).trim().to_string(),
+    }
+}
+
+fn line_text(src: &str, line: u32) -> &str {
+    src.lines().nth(line as usize - 1).unwrap_or("")
+}
+
+/// Compute the (start, end) line spans of test-only code: items annotated
+/// `#[cfg(test)]` or `#[test]`, including whole `mod tests { ... }` blocks.
+fn test_line_spans(src: &str, toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_punct(b'#') && toks[i + 1].is_punct(b'[') {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut attr_idents: Vec<&str> = Vec::new();
+            while j < toks.len() && depth > 0 {
+                match toks[j].kind {
+                    TokKind::Punct(b'[') => depth += 1,
+                    TokKind::Punct(b']') => depth -= 1,
+                    TokKind::Ident => attr_idents.push(toks[j].text(src)),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let is_test_attr = attr_idents.first() == Some(&"test")
+                || (attr_idents.first() == Some(&"cfg") && attr_idents.contains(&"test"));
+            if is_test_attr {
+                // The annotated item runs to its closing brace (or `;`).
+                let start_line = toks[i].line;
+                let mut k = j;
+                let mut end_line = start_line;
+                // Skip any further attributes between this one and the item.
+                while k + 1 < toks.len() && toks[k].is_punct(b'#') && toks[k + 1].is_punct(b'[') {
+                    let mut d = 1usize;
+                    k += 2;
+                    while k < toks.len() && d > 0 {
+                        match toks[k].kind {
+                            TokKind::Punct(b'[') => d += 1,
+                            TokKind::Punct(b']') => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                while k < toks.len() {
+                    if toks[k].is_punct(b';') {
+                        end_line = toks[k].line;
+                        break;
+                    }
+                    if toks[k].is_punct(b'{') {
+                        let mut d = 1usize;
+                        let mut m = k + 1;
+                        while m < toks.len() && d > 0 {
+                            match toks[m].kind {
+                                TokKind::Punct(b'{') => d += 1,
+                                TokKind::Punct(b'}') => d -= 1,
+                                _ => {}
+                            }
+                            m += 1;
+                        }
+                        end_line = toks[m.saturating_sub(1).min(toks.len() - 1)].line;
+                        break;
+                    }
+                    k += 1;
+                }
+                spans.push((start_line, end_line));
+                i = j;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// D001: identifiers declared (or annotated) as `HashMap`/`HashSet` must
+/// not be iterated in library code — `BTreeMap`/`BTreeSet` or an explicit
+/// sort is required before anything order-dependent.
+fn d001_unordered_iteration(
+    ctx: &FileCtx<'_>,
+    toks: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let src = ctx.src;
+    let hash_idents = collect_hash_typed_idents(src, toks);
+    const ITER_METHODS: [&str; 9] = [
+        "iter",
+        "iter_mut",
+        "keys",
+        "values",
+        "values_mut",
+        "into_iter",
+        "into_keys",
+        "into_values",
+        "drain",
+    ];
+
+    // Method-call form: `NAME.iter()`, `self.NAME.keys()`, ...
+    for i in 2..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || in_test(t.line) {
+            continue;
+        }
+        let name = t.text(src);
+        if !ITER_METHODS.contains(&name) {
+            continue;
+        }
+        if !toks[i - 1].is_punct(b'.') || toks[i - 2].kind != TokKind::Ident {
+            continue;
+        }
+        let recv = toks[i - 2].text(src);
+        if hash_idents.contains(&recv) && toks.get(i + 1).is_some_and(|n| n.is_punct(b'(')) {
+            if collected_into_sorted_binding(src, toks, i) {
+                continue;
+            }
+            out.push(finding(
+                ctx,
+                "D001",
+                t,
+                format!(
+                    "unordered iteration `{recv}.{name}()` over a HashMap/HashSet; \
+                     use BTreeMap/BTreeSet or sort the items before anything \
+                     order-dependent"
+                ),
+            ));
+        }
+    }
+
+    // Loop form: `for PAT in &NAME {`, `for PAT in NAME {`.
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident(src, "for") {
+            i += 1;
+            continue;
+        }
+        // Find the `in` keyword before the loop body opens; bail at `{`
+        // (an `impl Trait for Type {` has no `in`).
+        let mut j = i + 1;
+        let mut in_idx = None;
+        let mut depth = 0i32;
+        while j < toks.len() && j - i < 64 {
+            match toks[j].kind {
+                TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+                TokKind::Punct(b')') | TokKind::Punct(b']') => depth -= 1,
+                TokKind::Punct(b'{') if depth == 0 => break,
+                TokKind::Ident if depth == 0 && toks[j].text(src) == "in" => {
+                    in_idx = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(in_idx) = in_idx else {
+            i += 1;
+            continue;
+        };
+        // Iterable tokens: between `in` and the body `{` at depth 0.
+        let mut k = in_idx + 1;
+        let mut depth = 0i32;
+        let mut expr: Vec<usize> = Vec::new();
+        while k < toks.len() && k - in_idx < 64 {
+            match toks[k].kind {
+                TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+                TokKind::Punct(b')') | TokKind::Punct(b']') => depth -= 1,
+                TokKind::Punct(b'{') if depth == 0 => break,
+                _ => {}
+            }
+            expr.push(k);
+            k += 1;
+        }
+        // Match `&`/`&mut` + a single (possibly `self.`-qualified) ident.
+        let idents: Vec<usize> = expr
+            .iter()
+            .copied()
+            .filter(|&x| toks[x].kind == TokKind::Ident && toks[x].text(src) != "mut")
+            .collect();
+        let only_simple = expr.iter().all(|&x| {
+            matches!(toks[x].kind, TokKind::Ident)
+                || toks[x].is_punct(b'&')
+                || toks[x].is_punct(b'.')
+        });
+        if only_simple && !idents.is_empty() {
+            let last = idents[idents.len() - 1];
+            let name = toks[last].text(src);
+            let qualifier_ok = idents[..idents.len() - 1]
+                .iter()
+                .all(|&x| toks[x].text(src) == "self" || !hash_idents.contains(&toks[x].text(src)));
+            if hash_idents.contains(&name) && qualifier_ok && !in_test(toks[last].line) {
+                out.push(finding(
+                    ctx,
+                    "D001",
+                    &toks[last],
+                    format!(
+                        "unordered `for … in {name}` over a HashMap/HashSet; use \
+                         BTreeMap/BTreeSet or sort the items before anything \
+                         order-dependent"
+                    ),
+                ));
+            }
+        }
+        i = in_idx + 1;
+    }
+}
+
+/// The one sanctioned escape from D001 without an allowlist entry: the
+/// iteration feeds a `let` binding whose very next statement sorts it —
+/// `let mut v: Vec<_> = map.into_iter().collect(); v.sort…();`. The
+/// explicit sort restores a total order, so the hash order never escapes.
+fn collected_into_sorted_binding(src: &str, toks: &[Token], method_idx: usize) -> bool {
+    // Walk back to the start of the statement; it must be a `let`.
+    let mut s = method_idx;
+    let mut back = 0;
+    while s > 0 && back < 96 {
+        if toks[s - 1].is_punct(b';') || toks[s - 1].is_punct(b'{') || toks[s - 1].is_punct(b'}') {
+            break;
+        }
+        s -= 1;
+        back += 1;
+    }
+    if !toks.get(s).is_some_and(|t| t.is_ident(src, "let")) {
+        return false;
+    }
+    let mut n = s + 1;
+    if toks.get(n).is_some_and(|t| t.is_ident(src, "mut")) {
+        n += 1;
+    }
+    let Some(name_tok) = toks.get(n) else {
+        return false;
+    };
+    if name_tok.kind != TokKind::Ident {
+        return false;
+    }
+    let name = name_tok.text(src);
+    // Find the end of this statement, then require `NAME.sort…(` next.
+    let mut e = method_idx;
+    let mut fwd = 0;
+    let mut depth = 0i32;
+    while e < toks.len() && fwd < 96 {
+        match toks[e].kind {
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') | TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') | TokKind::Punct(b'}') => depth -= 1,
+            TokKind::Punct(b';') if depth == 0 => break,
+            _ => {}
+        }
+        e += 1;
+        fwd += 1;
+    }
+    toks.get(e + 1).is_some_and(|t| t.is_ident(src, name))
+        && toks.get(e + 2).is_some_and(|t| t.is_punct(b'.'))
+        && toks
+            .get(e + 3)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text(src).starts_with("sort"))
+}
+
+/// Find identifiers whose declared type (or initializer) names
+/// `HashMap`/`HashSet`: let-bindings, struct fields, and fn parameters.
+/// File-scoped — precise enough for a lint, reviewed via the allowlist.
+fn collect_hash_typed_idents<'s>(src: &'s str, toks: &[Token]) -> Vec<&'s str> {
+    let mut names: Vec<&str> = Vec::new();
+    // `IDENT : <type containing HashMap/HashSet>`
+    for i in 1..toks.len() {
+        if !toks[i].is_punct(b':') {
+            continue;
+        }
+        // Skip `::` path separators.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct(b':'))
+            || toks[i - 1].is_punct(b':')
+        {
+            continue;
+        }
+        if toks[i - 1].kind != TokKind::Ident {
+            continue;
+        }
+        let lhs = toks[i - 1].text(src);
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        let mut j = i + 1;
+        while j < toks.len() && j - i < 64 {
+            match toks[j].kind {
+                TokKind::Punct(b'<') => angle += 1,
+                TokKind::Punct(b'>') => angle -= 1,
+                TokKind::Punct(b'(') | TokKind::Punct(b'[') => paren += 1,
+                TokKind::Punct(b')') | TokKind::Punct(b']') if paren > 0 => paren -= 1,
+                TokKind::Punct(b')') | TokKind::Punct(b'}') | TokKind::Punct(b',')
+                | TokKind::Punct(b';') | TokKind::Punct(b'=')
+                    if angle <= 0 && paren == 0 =>
+                {
+                    break;
+                }
+                TokKind::Ident => {
+                    let t = toks[j].text(src);
+                    if t == "HashMap" || t == "HashSet" {
+                        names.push(lhs);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // `let [mut] NAME = HashMap::…` / `HashSet::…` (no annotation).
+    for i in 0..toks.len() {
+        if !toks[i].is_ident(src, "let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_ident(src, "mut")) {
+            j += 1;
+        }
+        let Some(name_tok) = toks.get(j) else { continue };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        let name = name_tok.text(src);
+        // Scan to `=`, then look for HashMap/HashSet before `;`.
+        let mut k = j + 1;
+        while k < toks.len() && k - j < 48 && !toks[k].is_punct(b'=') && !toks[k].is_punct(b';') {
+            k += 1;
+        }
+        if !toks.get(k).is_some_and(|t| t.is_punct(b'=')) {
+            continue;
+        }
+        let mut m = k + 1;
+        while m < toks.len() && m - k < 48 && !toks[m].is_punct(b';') {
+            if toks[m].kind == TokKind::Ident {
+                let t = toks[m].text(src);
+                if t == "HashMap" || t == "HashSet" {
+                    names.push(name);
+                    break;
+                }
+            }
+            m += 1;
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+/// D002: wall-clock reads. Simulation and analytics must run on sim time;
+/// only `crates/bench` and the repro CLI's timing lines may consult the
+/// host clock.
+fn d002_wall_clock(
+    ctx: &FileCtx<'_>,
+    toks: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    if ctx.crate_name == "sybil-bench" || ctx.rel_path.ends_with("src/bin/repro.rs") {
+        return;
+    }
+    let src = ctx.src;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || in_test(t.line) {
+            continue;
+        }
+        match t.text(src) {
+            "Instant"
+                if toks.get(i + 1).is_some_and(|a| a.is_punct(b':'))
+                    && toks.get(i + 2).is_some_and(|a| a.is_punct(b':'))
+                    && toks.get(i + 3).is_some_and(|a| a.is_ident(src, "now"))
+                => {
+                    out.push(finding(
+                        ctx,
+                        "D002",
+                        t,
+                        "`Instant::now()` reads the wall clock; simulation and \
+                         analytics must use sim time"
+                            .to_string(),
+                    ));
+                }
+            "SystemTime" | "UNIX_EPOCH" => {
+                out.push(finding(
+                    ctx,
+                    "D002",
+                    t,
+                    format!(
+                        "`{}` reads the wall clock; simulation and analytics must \
+                         use sim time",
+                        t.text(src)
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// D003: raw threading primitives belong in `osn_graph::par` only — every
+/// other parallel path must go through the deterministic map there.
+fn d003_threading(
+    ctx: &FileCtx<'_>,
+    toks: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    if ctx.rel_path == "crates/osn-graph/src/par.rs" {
+        return;
+    }
+    let src = ctx.src;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || in_test(t.line) {
+            continue;
+        }
+        let text = t.text(src);
+        let is_primitive = matches!(text, "Mutex" | "RwLock" | "Condvar" | "mpsc")
+            || (text.starts_with("Atomic") && text.len() > 6);
+        let is_spawn = (text == "spawn" || text == "scope")
+            && i >= 3
+            && toks[i - 1].is_punct(b':')
+            && toks[i - 2].is_punct(b':')
+            && toks[i - 3].is_ident(src, "thread");
+        if is_primitive {
+            out.push(finding(
+                ctx,
+                "D003",
+                t,
+                format!(
+                    "raw threading primitive `{text}` outside osn_graph::par; \
+                     use the deterministic parallel map instead"
+                ),
+            ));
+        } else if is_spawn {
+            out.push(finding(
+                ctx,
+                "D003",
+                t,
+                format!(
+                    "`thread::{text}` outside osn_graph::par; use the \
+                     deterministic parallel map instead"
+                ),
+            ));
+        }
+    }
+}
+
+/// D004: panic policy — library code returns `Result` or documents the
+/// invariant in the allowlist; it does not unwrap its way past errors.
+fn d004_panic_policy(
+    ctx: &FileCtx<'_>,
+    toks: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let src = ctx.src;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || in_test(t.line) {
+            continue;
+        }
+        let text = t.text(src);
+        let is_method = (text == "unwrap" || text == "expect")
+            && i >= 1
+            && toks[i - 1].is_punct(b'.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(b'('));
+        let is_macro = matches!(text, "panic" | "unreachable" | "todo" | "unimplemented")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(b'!'));
+        if is_method {
+            out.push(finding(
+                ctx,
+                "D004",
+                t,
+                format!(
+                    "`.{text}()` in library code; propagate a Result (or \
+                     allowlist with the invariant that makes this infallible)"
+                ),
+            ));
+        } else if is_macro {
+            out.push(finding(
+                ctx,
+                "D004",
+                t,
+                format!(
+                    "`{text}!` in library code; return an error (or allowlist \
+                     with the invariant that makes this unreachable)"
+                ),
+            ));
+        }
+    }
+}
+
+/// D005: every library crate root must carry `#![forbid(unsafe_code)]`.
+fn d005_forbid_unsafe(ctx: &FileCtx<'_>, toks: &[Token], out: &mut Vec<Finding>) {
+    let src = ctx.src;
+    let has = (0..toks.len()).any(|i| {
+        toks[i].is_ident(src, "forbid")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(b'('))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident(src, "unsafe_code"))
+    });
+    if !has {
+        out.push(Finding {
+            rule: "D005",
+            path: ctx.rel_path.to_string(),
+            line: 1,
+            col: 1,
+            message: "library crate is missing `#![forbid(unsafe_code)]`".to_string(),
+            snippet: line_text(ctx.src, 1).trim().to_string(),
+        });
+    }
+}
+
+/// D006: RNG hygiene — every random stream must be explicitly seeded so
+/// runs replay bit-identically; entropy sources are forbidden everywhere.
+fn d006_rng_hygiene(
+    ctx: &FileCtx<'_>,
+    toks: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let src = ctx.src;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || in_test(t.line) {
+            continue;
+        }
+        let text = t.text(src);
+        let flagged = matches!(text, "thread_rng" | "OsRng" | "from_entropy" | "getrandom")
+            || (text == "random"
+                && i >= 3
+                && toks[i - 1].is_punct(b':')
+                && toks[i - 2].is_punct(b':')
+                && toks[i - 3].is_ident(src, "rand"));
+        if flagged {
+            out.push(finding(
+                ctx,
+                "D006",
+                t,
+                format!(
+                    "entropy-based RNG `{text}`; all randomness must come from \
+                     an explicitly seeded generator"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_lib(src: &str) -> Vec<Finding> {
+        check_file(&FileCtx {
+            rel_path: "crates/x/src/demo.rs",
+            crate_name: "x",
+            kind: FileKind::Lib,
+            src,
+        })
+    }
+
+    #[test]
+    fn d001_flags_map_iteration_and_loops() {
+        let src = "fn f() {\n    let mut m: HashMap<u32, u32> = HashMap::new();\n    for (k, v) in &m { let _ = (k, v); }\n    let _ = m.values().sum::<u32>();\n}\n";
+        let f = lint_lib(src);
+        let d001: Vec<_> = f.iter().filter(|f| f.rule == "D001").collect();
+        assert_eq!(d001.len(), 2, "{f:?}");
+        assert_eq!(d001[0].line, 3);
+        assert_eq!(d001[1].line, 4);
+    }
+
+    #[test]
+    fn d001_ignores_btreemap_and_lookups() {
+        let src = "fn f() {\n    let mut m: BTreeMap<u32, u32> = BTreeMap::new();\n    for (k, v) in &m { let _ = (k, v); }\n    let s: HashSet<u32> = HashSet::new();\n    let _ = s.contains(&1);\n}\n";
+        assert!(lint_lib(src).iter().all(|f| f.rule != "D001"));
+    }
+
+    #[test]
+    fn d001_permits_collect_then_sort() {
+        let src = "fn f(m: HashMap<u32, u32>) -> Vec<(u32, u32)> {\n    let mut v: Vec<(u32, u32)> = m.into_iter().collect();\n    v.sort_unstable();\n    v\n}\n";
+        assert!(lint_lib(src).iter().all(|f| f.rule != "D001"), "{:?}", lint_lib(src));
+        // Without the sort the same shape is still a violation.
+        let bad = "fn f(m: HashMap<u32, u32>) -> Vec<(u32, u32)> {\n    let v: Vec<(u32, u32)> = m.into_iter().collect();\n    v\n}\n";
+        assert_eq!(lint_lib(bad).iter().filter(|f| f.rule == "D001").count(), 1);
+    }
+
+    #[test]
+    fn d002_flags_instant_now_not_import() {
+        let src = "use std::time::Instant;\nfn f() { let _t = Instant::now(); }\n";
+        let f = lint_lib(src);
+        let d002: Vec<_> = f.iter().filter(|f| f.rule == "D002").collect();
+        assert_eq!(d002.len(), 1);
+        assert_eq!(d002[0].line, 2);
+    }
+
+    #[test]
+    fn d003_flags_mutex_and_spawn() {
+        let src = "use std::sync::Mutex;\nfn f() { std::thread::spawn(|| {}); }\n";
+        let f = lint_lib(src);
+        assert_eq!(f.iter().filter(|f| f.rule == "D003").count(), 2);
+    }
+
+    #[test]
+    fn d004_skips_test_modules() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        let f = lint_lib(src);
+        let d004: Vec<_> = f.iter().filter(|f| f.rule == "D004").collect();
+        assert_eq!(d004.len(), 1);
+        assert_eq!(d004[0].line, 1);
+    }
+
+    #[test]
+    fn d004_does_not_flag_unwrap_or() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+        assert!(lint_lib(src).iter().all(|f| f.rule != "D004"));
+    }
+
+    #[test]
+    fn d006_flags_entropy() {
+        let src = "fn f() { let mut rng = rand::thread_rng(); let _x: u8 = rand::random(); }\n";
+        assert_eq!(lint_lib(src).iter().filter(|f| f.rule == "D006").count(), 2);
+    }
+
+    #[test]
+    fn d005_reports_missing_forbid() {
+        let f = check_file(&FileCtx {
+            rel_path: "crates/x/src/lib.rs",
+            crate_name: "x",
+            kind: FileKind::Lib,
+            src: "//! docs\npub mod a;\n",
+        });
+        assert_eq!(f.iter().filter(|f| f.rule == "D005").count(), 1);
+        let ok = check_file(&FileCtx {
+            rel_path: "crates/x/src/lib.rs",
+            crate_name: "x",
+            kind: FileKind::Lib,
+            src: "#![forbid(unsafe_code)]\npub mod a;\n",
+        });
+        assert!(ok.iter().all(|f| f.rule != "D005"));
+    }
+}

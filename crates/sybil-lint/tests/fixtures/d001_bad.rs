@@ -1,0 +1,19 @@
+// D001 fixture: unordered HashMap/HashSet iteration that escapes into
+// order-dependent output. Expected findings: lines 8, 12, 16.
+use std::collections::{HashMap, HashSet};
+
+pub fn emit(map: HashMap<u32, u32>, set: HashSet<u32>) -> Vec<String> {
+    let mut out = Vec::new();
+    // line 8: method-call iteration over a HashMap
+    for (k, v) in map.iter() {
+        out.push(format!("{k}={v}"));
+    }
+    // line 12: for-loop directly over a borrowed HashSet
+    for s in &set {
+        out.push(format!("{s}"));
+    }
+    // line 16: keys() feeding output
+    let ks: Vec<u32> = map.keys().copied().collect();
+    out.push(format!("{}", ks.len()));
+    out
+}

@@ -1,0 +1,22 @@
+// D001 fixture: the two sanctioned shapes — BTreeMap, and collect-then-
+// sort — plus non-iterating HashMap use. Expected findings: none.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn emit(map: BTreeMap<u32, u32>, hmap: HashMap<u32, u32>, set: HashSet<u32>) -> Vec<String> {
+    let mut out = Vec::new();
+    // BTreeMap iteration is ordered.
+    for (k, v) in map.iter() {
+        out.push(format!("{k}={v}"));
+    }
+    // Collect-then-sort restores a total order before anything escapes.
+    let mut pairs: Vec<(u32, u32)> = hmap.into_iter().collect();
+    pairs.sort_unstable();
+    for (k, v) in pairs {
+        out.push(format!("{k}={v}"));
+    }
+    // Membership tests never observe iteration order.
+    if set.contains(&1) {
+        out.push("one".to_string());
+    }
+    out
+}

@@ -1,0 +1,12 @@
+// D002 fixture: wall-clock reads in simulation code. Expected findings:
+// lines 5 and 10.
+
+pub fn stamp() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn epoch() -> u64 {
+    let _now = std::time::SystemTime::now();
+    0
+}

@@ -1,0 +1,12 @@
+// D002 fixture: sim-time only; importing Instant without reading the
+// clock is fine (the type may appear in signatures of bench-only
+// callers). Expected findings: none.
+use std::time::Instant;
+
+pub fn advance(sim_now_secs: u64, dt: u64) -> u64 {
+    sim_now_secs + dt
+}
+
+pub fn describe(_t: Instant) -> &'static str {
+    "a caller-provided instant; never read here"
+}

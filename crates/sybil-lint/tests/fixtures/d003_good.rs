@@ -1,0 +1,8 @@
+// D003 fixture: parallelism through the deterministic map only.
+// Expected findings: none.
+
+pub fn sweep(len: usize) -> Vec<u64> {
+    // The sanctioned path: osn_graph::par keeps output bit-identical
+    // across thread counts.
+    osn_graph::par::map_indexed(len, |i| (i as u64) * 2)
+}

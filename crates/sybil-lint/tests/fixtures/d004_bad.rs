@@ -1,0 +1,23 @@
+// D004 fixture: panics in library code. Expected findings: lines 5, 9,
+// 13 — and none inside the test module.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("caller promised a number")
+}
+
+pub fn forbidden() -> ! {
+    panic!("library code must not panic");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

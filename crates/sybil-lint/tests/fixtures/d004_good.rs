@@ -1,0 +1,14 @@
+// D004 fixture: fallible paths return Result/Option or use non-panicking
+// combinators. Expected findings: none.
+
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn parse(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn first_or_zero(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}

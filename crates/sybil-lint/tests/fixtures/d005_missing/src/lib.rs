@@ -1,0 +1,4 @@
+// D005 fixture: a library crate root without #![forbid(unsafe_code)].
+// Expected finding: D005 at line 1.
+
+pub fn noop() {}

@@ -1,0 +1,4 @@
+//! D005 fixture: the attribute is present. Expected findings: none.
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

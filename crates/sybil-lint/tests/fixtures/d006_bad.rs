@@ -1,0 +1,16 @@
+// D006 fixture: entropy-seeded randomness. Expected findings: lines 5,
+// 10, 15.
+
+pub fn roll() -> u8 {
+    let mut rng = rand::thread_rng();
+    rng.random_range(0..6)
+}
+
+pub fn seed_from_os() -> u64 {
+    let mut rng = rand::rngs::StdRng::from_entropy();
+    rng.random()
+}
+
+pub fn coin() -> bool {
+    rand::random()
+}

@@ -1,0 +1,9 @@
+// D006 fixture: every RNG is explicitly seeded; replays are
+// bit-identical. Expected findings: none.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn roll(seed: u64) -> u8 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.random_range(0..6)
+}

@@ -8,7 +8,7 @@
 //! ([`export`]). No simulation or graph logic lives here.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ascii;
 pub mod cdf;

@@ -13,4 +13,7 @@ cargo test -q
 echo "== lint: cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== lint: sybil-lint determinism & invariant audit =="
+cargo run -q -p sybil-lint -- --workspace
+
 echo "verify: OK"

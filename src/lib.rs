@@ -18,6 +18,7 @@
 //! index mapping every paper figure and table to a module and bench.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use osn_graph as graph;
 pub use osn_sim as sim;
