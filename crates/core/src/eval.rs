@@ -32,7 +32,7 @@ impl ConfusionMatrix {
     }
 
     /// Merge another matrix into this one.
-    pub fn merge(&mut self, other: &ConfusionMatrix) {
+    pub(crate) fn merge(&mut self, other: &ConfusionMatrix) {
         self.tp += other.tp;
         self.fn_ += other.fn_;
         self.fp += other.fp;

@@ -50,7 +50,7 @@ impl Scaler {
     }
 
     /// Dimensionality.
-    pub fn dim(&self) -> usize {
+    pub(crate) fn dim(&self) -> usize {
         self.mean.len()
     }
 

@@ -245,7 +245,7 @@ impl TemporalGraph {
 
     /// True if `n` is a valid node id.
     #[inline]
-    pub fn contains_node(&self, n: NodeId) -> bool {
+    pub(crate) fn contains_node(&self, n: NodeId) -> bool {
         n.index() < self.adj.len()
     }
 

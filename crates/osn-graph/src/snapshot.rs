@@ -145,6 +145,9 @@ impl CsrSnapshot {
 
     #[inline]
     fn row(&self, n: NodeId) -> std::ops::Range<usize> {
+        // CSR invariant: offsets has num_nodes + 1 entries, so n+1 is in
+        // bounds for every valid node id.
+        debug_assert!(n.index() + 1 < self.offsets.len());
         self.offsets[n.index()] as usize..self.offsets[n.index() + 1] as usize
     }
 
@@ -292,7 +295,7 @@ impl CsrSnapshot {
         let row = self.row(n);
         let times = &self.chrono_times[row.clone()];
         let cut = times.partition_point(|&time| time < t);
-        let friends = &self.chrono[row.start..row.start + cut];
+        let friends = &self.chrono[row.clone()][..cut];
         self.clustering_of_slice(friends, scratch)
     }
 
@@ -376,6 +379,29 @@ mod tests {
         assert_eq!(s.num_edges(), 4);
         for n in g.nodes() {
             assert_eq!(s.degree(n), g.degree(n));
+        }
+    }
+
+    #[test]
+    fn sorted_and_chrono_views_carry_the_same_timed_edges() {
+        let g = wedge_graph();
+        let s = CsrSnapshot::freeze(&g);
+        for n in g.nodes() {
+            let mut sorted_view: Vec<(u32, Timestamp)> = s
+                .neighbors_sorted(n)
+                .iter()
+                .copied()
+                .zip(s.times_sorted(n).iter().copied())
+                .collect();
+            let mut chrono_view: Vec<(u32, Timestamp)> = s
+                .neighbors_chrono(n)
+                .iter()
+                .copied()
+                .zip(s.times_chrono(n).iter().copied())
+                .collect();
+            sorted_view.sort_unstable();
+            chrono_view.sort_unstable();
+            assert_eq!(sorted_view, chrono_view, "node {n:?}");
         }
     }
 

@@ -39,9 +39,10 @@ impl InducedSubgraph {
         let mut graph = TemporalGraph::with_nodes(original_of.len());
         for e in g.edges() {
             if let (Some(&a), Some(&b)) = (sub_of.get(&e.a), sub_of.get(&e.b)) {
-                graph
-                    .add_edge(a, b, e.time)
-                    .expect("parent graph has no duplicates");
+                // add_edge only rejects self-loops and duplicates; an
+                // induced subgraph skips those, it doesn't abort — the
+                // parent excludes both anyway, so this arm is never hit.
+                let _ = graph.add_edge(a, b, e.time);
             }
         }
         InducedSubgraph {

@@ -136,12 +136,20 @@ fn push_one(net: &mut FlowNetwork, s: usize, t: usize) -> bool {
     if !visited[t] {
         return false;
     }
-    // Walk back, pushing 1 unit.
+    // Walk back collecting the path first, so a broken parent chain
+    // (impossible once `visited[t]` holds, but recoverable regardless)
+    // rejects the vote instead of aborting mid-push.
+    let mut path = Vec::new();
     let mut v = t;
     while v != s {
-        let a = parent_arc[v].expect("path exists") as usize;
+        let Some(a) = parent_arc[v] else {
+            return false;
+        };
+        path.push(a as usize);
+        v = net.arc_from_endpoint(a as usize);
+    }
+    for a in path {
         net.push_unit(a);
-        v = net.arc_from_endpoint(a);
     }
     true
 }

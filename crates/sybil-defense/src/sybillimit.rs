@@ -85,12 +85,10 @@ impl SybilLimit {
         let mut cur = nb[first_edge].node;
         for _ in 1..self.route_len {
             let d = g.degree(cur);
-            // Position of the incoming edge within cur's adjacency.
-            let in_pos = g
-                .neighbors(cur)
-                .iter()
-                .position(|x| x.edge == edge)
-                .expect("incoming edge must be incident");
+            // Position of the incoming edge within cur's adjacency. The
+            // edge was taken from the adjacency list one hop back, so a
+            // miss means the graph is inconsistent — abandon the route.
+            let in_pos = g.neighbors(cur).iter().position(|x| x.edge == edge)?;
             let out = self.out_pos(cur, d, in_pos, inst);
             let next = g.neighbors(cur)[out];
             prev = cur;

@@ -22,7 +22,7 @@ use crate::report::Finding;
 /// One reviewed exception.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Rule code the entry silences (`D001`…`D006`).
+    /// Rule code the entry silences (`D001`…`D006`, `S101`…`S105`).
     pub rule: String,
     /// Workspace-relative path the entry applies to.
     pub path: String,
@@ -30,6 +30,9 @@ pub struct AllowEntry {
     pub line: Option<u32>,
     /// Why this exception is sound — mandatory, non-trivial.
     pub justification: String,
+    /// 1-based line of this entry's `[[allow]]` header in lint.toml —
+    /// where S105 anchors staleness findings.
+    pub defined_at: u32,
 }
 
 /// A parsed allowlist.
@@ -63,7 +66,10 @@ pub fn parse(content: &str) -> Result<Allowlist, String> {
             if let Some(p) = cur.take() {
                 entries.push(p.finish(lineno)?);
             }
-            cur = Some(PartialEntry::default());
+            cur = Some(PartialEntry {
+                defined_at: lineno as u32,
+                ..PartialEntry::default()
+            });
             continue;
         }
         if line.starts_with('[') {
@@ -109,6 +115,7 @@ struct PartialEntry {
     path: Option<String>,
     line: Option<u32>,
     justification: Option<String>,
+    defined_at: u32,
 }
 
 impl PartialEntry {
@@ -116,7 +123,7 @@ impl PartialEntry {
         let rule = self
             .rule
             .ok_or_else(|| format!("entry ending at line {lineno}: missing `rule`"))?;
-        if !crate::rules::ALL_RULES.contains(&rule.as_str()) {
+        if !crate::rules::is_known_rule(&rule) {
             return Err(format!(
                 "entry ending at line {lineno}: unknown rule {rule:?}"
             ));
@@ -138,8 +145,60 @@ impl PartialEntry {
             path,
             line: self.line,
             justification,
+            defined_at: self.defined_at,
         })
     }
+}
+
+/// Rewrite `content` with the blocks of `stale` entries removed
+/// (`--fix-allowlist`). A block runs from its `[[allow]]` header (plus any
+/// comment lines directly above it) through its last key, including the
+/// blank separator that follows. With no stale entries the result is
+/// **byte-identical** to the input — the rewriter never reformats.
+pub fn remove_stale(content: &str, stale: &[AllowEntry]) -> String {
+    if stale.is_empty() {
+        return content.to_string();
+    }
+    let headers: Vec<u32> = stale.iter().map(|e| e.defined_at).collect();
+    let lines: Vec<&str> = content.lines().collect();
+    let mut drop = vec![false; lines.len()];
+    for &h in &headers {
+        let h0 = h as usize - 1; // 0-based index of the [[allow]] header
+        if h0 >= lines.len() {
+            continue;
+        }
+        // Comment lines directly above the header belong to the block.
+        let mut start = h0;
+        while start > 0 && lines[start - 1].trim_start().starts_with('#') {
+            start -= 1;
+        }
+        // The block ends before the next [[allow]] / table / EOF, trailing
+        // blank separator included.
+        let mut end = h0 + 1;
+        while end < lines.len() && !lines[end].trim_start().starts_with("[[") {
+            end += 1;
+        }
+        while end > h0 + 1 && lines[end - 1].trim().is_empty() {
+            end -= 1;
+        }
+        if end < lines.len() && lines[end].trim().is_empty() {
+            end += 1; // eat exactly one separating blank line
+        }
+        for d in drop.iter_mut().take(end).skip(start) {
+            *d = true;
+        }
+    }
+    let mut out = String::with_capacity(content.len());
+    for (i, l) in lines.iter().enumerate() {
+        if !drop[i] {
+            out.push_str(l);
+            out.push('\n');
+        }
+    }
+    if !content.ends_with('\n') {
+        out.pop();
+    }
+    out
 }
 
 /// Strip a `#` comment, respecting `"…"` strings.
@@ -229,6 +288,7 @@ justification = "index comes from the same vec's enumerate()"
             col: 1,
             message: String::new(),
             snippet: String::new(),
+            trace: Vec::new(),
         };
         assert!(a.matching(&mk(12)).is_some());
         assert!(a.matching(&mk(13)).is_none());
@@ -247,6 +307,36 @@ justification = "index comes from the same vec's enumerate()"
         )
         .unwrap_err();
         assert!(err.contains("too"), "{err}");
+    }
+
+    #[test]
+    fn tracks_defined_at_and_accepts_s_rules() {
+        let a = parse(GOOD).unwrap();
+        assert_eq!(a.entries[0].defined_at, 3);
+        assert_eq!(a.entries[1].defined_at, 8);
+        let s = parse(
+            "[[allow]]\nrule = \"S101\"\npath = \"x.rs\"\njustification = \"invariant: index from enumerate\"\n",
+        )
+        .unwrap();
+        assert_eq!(s.entries[0].rule, "S101");
+    }
+
+    #[test]
+    fn remove_stale_is_byte_identical_when_nothing_is_stale() {
+        assert_eq!(remove_stale(GOOD, &[]), GOOD);
+    }
+
+    #[test]
+    fn remove_stale_drops_the_block_and_its_comment() {
+        let a = parse(GOOD).unwrap();
+        // Drop the first entry (with the comment line above it); keep the second.
+        let out = remove_stale(GOOD, &a.entries[..1]);
+        assert!(!out.contains("ranking.rs"), "{out}");
+        assert!(!out.contains("# reviewed exceptions"), "{out}");
+        assert!(out.contains("crates/core/src/eval.rs"), "{out}");
+        let reparsed = parse(&out).unwrap();
+        assert_eq!(reparsed.entries.len(), 1);
+        assert_eq!(reparsed.entries[0].rule, "D004");
     }
 
     #[test]

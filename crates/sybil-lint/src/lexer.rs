@@ -45,12 +45,12 @@ impl Token {
     }
 
     /// Is this an identifier with exactly this text?
-    pub fn is_ident(&self, src: &str, name: &str) -> bool {
+    pub(crate) fn is_ident(&self, src: &str, name: &str) -> bool {
         self.kind == TokKind::Ident && self.text(src) == name
     }
 
     /// Is this the given punctuation character?
-    pub fn is_punct(&self, ch: u8) -> bool {
+    pub(crate) fn is_punct(&self, ch: u8) -> bool {
         self.kind == TokKind::Punct(ch)
     }
 }
@@ -240,11 +240,11 @@ pub fn lex(src: &str) -> Vec<Token> {
                         break;
                     }
                 }
-                let after = &cur.src[cur.pos + prefix_len..];
+                let after = cur.src.get(cur.pos + prefix_len..).unwrap_or("");
                 let is_raw_ident = prefix_len == 1
-                    && cur.bytes[cur.pos] == b'r'
+                    && cur.bytes.get(cur.pos) == Some(&b'r')
                     && after.starts_with('#')
-                    && after[1..].chars().next().is_some_and(is_ident_start);
+                    && after.get(1..).and_then(|s| s.chars().next()).is_some_and(is_ident_start);
                 let is_str_start = prefix_len > 0
                     && !is_raw_ident
                     && (after.starts_with('"') || after.starts_with('#'))

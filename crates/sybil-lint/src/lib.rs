@@ -8,6 +8,12 @@
 //! allowlist ([`allowlist`]). Output comes in human and `--format json`
 //! flavors ([`report`]).
 //!
+//! On top of the token layer sits a semantic layer: an item-level parser
+//! ([`parser`]) feeds a workspace symbol table ([`symbols`]) and a
+//! name-resolved call graph ([`callgraph`]), over which the S-series
+//! rules ([`rules_sem`]) reason about *reachability* — every S-finding
+//! carries a call-chain trace explaining why it fired.
+//!
 //! The rules:
 //!
 //! | code | invariant |
@@ -18,19 +24,30 @@
 //! | D004 | no panics (`unwrap`/`expect`/`panic!`) in non-test library code |
 //! | D005 | every library crate carries `#![forbid(unsafe_code)]` |
 //! | D006 | only explicitly seeded RNGs — no entropy sources |
+//! | S101 | no panic site reachable from a `pub` library fn (call graph) |
+//! | S102 | no float reduction reachable from a `par::` map closure |
+//! | S103 | no `&mut`/RNG capture across the `par` boundary |
+//! | S104 | no dead exports (pub items nothing outside the crate names) |
+//! | S105 | no stale `lint.toml` entries (`--fix-allowlist` prunes them) |
 //!
-//! No external parser dependencies: the lexer is ~300 lines and the TOML
-//! allowlist reader handles exactly the subset `lint.toml` uses.
+//! No external parser dependencies: the lexer is ~300 lines, the item
+//! parser ~700, and the TOML allowlist reader handles exactly the subset
+//! `lint.toml` uses.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod allowlist;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod rules_sem;
+pub mod symbols;
 pub mod workspace;
 
 pub use allowlist::{Allowlist, AllowEntry};
 pub use report::{Finding, Report};
 pub use rules::{check_file, FileCtx, FileKind};
+pub use symbols::WorkspaceModel;

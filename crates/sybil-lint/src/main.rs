@@ -2,8 +2,16 @@
 //!
 //! ```text
 //! sybil-lint --workspace [--format human|json] [--root DIR]
-//!            [--allowlist FILE | --no-allowlist] [--list-rules] [PATH...]
+//!            [--allowlist FILE | --no-allowlist] [--fix-allowlist]
+//!            [--list-rules] [--explain CODE] [PATH...]
 //! ```
+//!
+//! `--workspace` runs the token rules (D-series) *and* the semantic
+//! call-graph rules (S-series); explicit `PATH` arguments alone run only
+//! the token rules, since S-rules need every file to resolve calls.
+//! `--explain CODE` prints the full rationale for one rule.
+//! `--fix-allowlist` deletes lint.toml entries that matched nothing
+//! (byte-identical rewrite when none are stale).
 //!
 //! Exit codes: 0 clean, 1 unallowlisted violations, 2 usage or I/O error.
 
@@ -20,12 +28,15 @@ struct Args {
     root: Option<PathBuf>,
     allowlist: Option<PathBuf>,
     no_allowlist: bool,
+    fix_allowlist: bool,
     list_rules: bool,
+    explain: Option<String>,
     paths: Vec<PathBuf>,
 }
 
 const USAGE: &str = "usage: sybil-lint [--workspace] [--format human|json] [--root DIR] \
-                     [--allowlist FILE] [--no-allowlist] [--list-rules] [PATH...]";
+                     [--allowlist FILE] [--no-allowlist] [--fix-allowlist] [--list-rules] \
+                     [--explain CODE] [PATH...]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -34,13 +45,22 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         allowlist: None,
         no_allowlist: false,
+        fix_allowlist: false,
         list_rules: false,
+        explain: None,
         paths: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--workspace" => args.workspace = true,
+            "--fix-allowlist" => {
+                args.workspace = true; // staleness needs the full scan
+                args.fix_allowlist = true;
+            }
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain expects a rule code")?)
+            }
             "--format" => match it.next().as_deref() {
                 Some("json") => args.json = true,
                 Some("human") => args.json = false,
@@ -63,7 +83,10 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
-    if !args.workspace && args.paths.is_empty() && !args.list_rules {
+    if args.fix_allowlist && args.no_allowlist {
+        return Err("--fix-allowlist and --no-allowlist are contradictory".to_string());
+    }
+    if !args.workspace && args.paths.is_empty() && !args.list_rules && args.explain.is_none() {
         return Err(format!("nothing to lint\n{USAGE}"));
     }
     Ok(args)
@@ -78,10 +101,27 @@ fn main() -> ExitCode {
         }
     };
     if args.list_rules {
-        for code in rules::ALL_RULES {
+        for code in rules::ALL_RULES.iter().chain(rules::SEM_RULES.iter()) {
             println!("{code}  {}", rules::rule_summary(code));
         }
         return ExitCode::SUCCESS;
+    }
+    if let Some(code) = &args.explain {
+        let code = code.to_uppercase();
+        match rules::rule_explanation(&code) {
+            Some(text) => {
+                println!("{text}");
+                return ExitCode::SUCCESS;
+            }
+            None => {
+                eprintln!(
+                    "sybil-lint: unknown rule {code:?} (known: {} / {})",
+                    rules::ALL_RULES.join(" "),
+                    rules::SEM_RULES.join(" ")
+                );
+                return ExitCode::from(2);
+            }
+        }
     }
 
     let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
@@ -130,36 +170,66 @@ fn main() -> ExitCode {
     }
 
     // Load the allowlist (default <root>/lint.toml; absence is fine).
+    let allow_path = args
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| root.join("lint.toml"));
+    let mut allow_content = String::new();
     let allow = if args.no_allowlist {
         allowlist::Allowlist::default()
     } else {
-        let path = args
-            .allowlist
-            .clone()
-            .unwrap_or_else(|| root.join("lint.toml"));
-        match std::fs::read_to_string(&path) {
+        match std::fs::read_to_string(&allow_path) {
             Ok(content) => match allowlist::parse(&content) {
-                Ok(a) => a,
+                Ok(a) => {
+                    allow_content = content;
+                    a
+                }
                 Err(e) => {
-                    eprintln!("sybil-lint: {}: {e}", display(&path));
+                    eprintln!("sybil-lint: {}: {e}", display(&allow_path));
                     return ExitCode::from(2);
                 }
             },
             Err(_) if args.allowlist.is_none() => allowlist::Allowlist::default(),
             Err(e) => {
-                eprintln!("sybil-lint: cannot read {}: {e}", display(&path));
+                eprintln!("sybil-lint: cannot read {}: {e}", display(&allow_path));
                 return ExitCode::from(2);
             }
         }
     };
 
-    let rep = match workspace::run(&files, &allow) {
+    let run = if args.workspace {
+        workspace::run_workspace
+    } else {
+        workspace::run
+    };
+    let mut rep = match run(&files, &allow) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sybil-lint: {e}");
             return ExitCode::from(2);
         }
     };
+
+    if args.fix_allowlist {
+        // Prune stale entries, then report as if the pruned file had been
+        // in effect all along (their S105 findings disappear with them).
+        let stale = std::mem::take(&mut rep.unused_allowlist);
+        let rewritten = allowlist::remove_stale(&allow_content, &stale);
+        if rewritten != allow_content {
+            if let Err(e) = std::fs::write(&allow_path, &rewritten) {
+                eprintln!("sybil-lint: cannot rewrite {}: {e}", display(&allow_path));
+                return ExitCode::from(2);
+            }
+        }
+        rep.violations.retain(|f| f.rule != "S105");
+        eprintln!(
+            "sybil-lint: --fix-allowlist removed {} stale entr{} from {}",
+            stale.len(),
+            if stale.len() == 1 { "y" } else { "ies" },
+            display(&allow_path)
+        );
+    }
+
     if args.json {
         print!("{}", report::render_json(&rep));
     } else {

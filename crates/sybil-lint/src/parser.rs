@@ -1,0 +1,975 @@
+//! Item-level Rust parser on top of the token [`lexer`](crate::lexer).
+//!
+//! This is not a grammar-complete parser — it extracts exactly the item
+//! structure the semantic rules (S101–S105) need from one file:
+//!
+//! * function definitions with visibility, enclosing module path, and
+//!   enclosing `impl` type,
+//! * call expressions inside each function body (free calls, `path::`
+//!   calls, and `.method()` calls, including turbofish forms),
+//! * panic sites (`unwrap`/`expect`/panic-family macros) and guard-free
+//!   indexing sites,
+//! * floating-point reduction sites (`sum`/`product`/`fold`, and `+=` /
+//!   `*=` inside loops, in functions with float evidence),
+//! * `par::` parallel-map call sites together with the mutable state and
+//!   RNG handles their closure arguments capture,
+//! * non-`fn` `pub` items (structs, enums, traits, consts, …) for the
+//!   dead-export analysis.
+//!
+//! Everything is resolved later against the whole workspace by
+//! [`symbols`](crate::symbols) and [`callgraph`](crate::callgraph).
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// Visibility of an item as written at its definition site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Vis {
+    /// `pub` with no restriction — exported from the crate.
+    Pub,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)` — crate-internal.
+    PubRestricted,
+    /// No `pub` at all.
+    Private,
+}
+
+/// One call expression inside a function body.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// Callee name (last path segment or method name).
+    pub name: String,
+    /// Path segments before the name (`osn_graph::par::map_indexed` →
+    /// `["osn_graph", "par"]`); empty for bare and method calls.
+    pub path: Vec<String>,
+    /// True for `.name(…)` method-call syntax.
+    pub method: bool,
+    /// Token index of the callee name (for span containment tests).
+    pub tok: usize,
+    /// 1-based source line of the callee name.
+    pub line: u32,
+    /// 1-based source column of the callee name.
+    pub col: u32,
+}
+
+/// What kind of potential panic a [`PanicSite`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(…)`.
+    Expect,
+    /// `panic!` / `todo!` / `unimplemented!` / `unreachable!` / `assert!`-family is *not* counted.
+    Macro,
+    /// `x[i]` indexing in a function with no guard evidence at all.
+    Index,
+}
+
+/// One potential panic site inside a function body.
+#[derive(Clone, Debug)]
+pub struct PanicSite {
+    /// What shape of panic this is.
+    pub kind: PanicKind,
+    /// Token text that identifies the site (`unwrap`, `panic`, the indexed
+    /// name, …).
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// One floating-point reduction site inside a function body.
+#[derive(Clone, Debug)]
+pub struct ReductionSite {
+    /// `sum`, `product`, `fold`, `+=`, or `*=`.
+    pub what: String,
+    /// The site is definitely float-typed (turbofish names `f32`/`f64`);
+    /// otherwise it only counts when the function shows float evidence.
+    pub definite: bool,
+    /// Token index (for par-argument containment tests).
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A captured binding observed inside a closure passed to a `par::` call.
+#[derive(Clone, Debug)]
+pub struct Capture {
+    /// The captured identifier.
+    pub name: String,
+    /// `"&mut"` or `"rng"` — how the capture was detected.
+    pub how: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// One `par::map*` / `par::sweep*` call site.
+#[derive(Clone, Debug)]
+pub struct ParCall {
+    /// The entry-point name (`map_indexed`, `map_slice`, …).
+    pub entry: String,
+    /// Token index range `(open, close)` of the argument parentheses.
+    pub args: (usize, usize),
+    /// Mutable state / RNG handles captured from outside the closures.
+    pub captures: Vec<Capture>,
+    /// 1-based line of the entry-point name.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A function definition extracted from one file.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// In-file module path (from `mod` blocks), outermost first.
+    pub modules: Vec<String>,
+    /// Enclosing `impl` self type, if any (`impl SumUp` → `SumUp`;
+    /// `impl SybilDefense for SumUp` → `SumUp`).
+    pub self_ty: Option<String>,
+    /// Visibility at the definition site.
+    pub vis: Vis,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Calls made in the body, in source order.
+    pub calls: Vec<Call>,
+    /// Potential panic sites in the body.
+    pub panics: Vec<PanicSite>,
+    /// Floating-point reduction sites in the body.
+    pub reductions: Vec<ReductionSite>,
+    /// `par::` parallel-map call sites in the body.
+    pub par_calls: Vec<ParCall>,
+    /// The body mentions `f32`/`f64` or a float literal.
+    pub float_evidence: bool,
+    /// The body contains bounds-guard evidence (asserts, `len`, `get`,
+    /// `min`, `clamp`, `position`, …) — suppresses `Index` panic sites.
+    pub has_guard: bool,
+    /// The definition sits inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+}
+
+/// A non-`fn` item definition (struct, enum, trait, const, …).
+#[derive(Clone, Debug)]
+pub struct ItemDef {
+    /// Item keyword (`struct`, `enum`, `trait`, `type`, `const`, `static`).
+    pub kind: String,
+    /// Item name.
+    pub name: String,
+    /// Visibility at the definition site.
+    pub vis: Vis,
+    /// 1-based line of the item keyword.
+    pub line: u32,
+    /// The definition sits inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+}
+
+/// Everything extracted from one file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    /// All function definitions, in source order.
+    pub fns: Vec<FnDef>,
+    /// All non-`fn` items, in source order.
+    pub items: Vec<ItemDef>,
+    /// Every identifier that occurs anywhere in the file (deduplicated,
+    /// sorted) — the usage side of the dead-export analysis.
+    pub idents: Vec<String>,
+    /// Identifiers occurring inside `#[cfg(test)]`/`#[test]` spans
+    /// (deduplicated, sorted) — inline unit tests keep exports alive.
+    pub test_idents: Vec<String>,
+}
+
+/// Bodies containing any of these identifiers are considered
+/// bounds-guarded, suppressing `Index` panic sites. Deliberately broad:
+/// S101's indexing arm only exists to catch *completely* unguarded
+/// accessors.
+const GUARD_IDENTS: [&str; 14] = [
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "len",
+    "get",
+    "get_mut",
+    "min",
+    "clamp",
+    "position",
+    "is_empty",
+    "resize",
+];
+
+const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+
+/// Keywords that look like calls (`if (…)`, `match (…)`) but are not.
+const NON_CALL_KEYWORDS: [&str; 14] = [
+    "if", "else", "match", "while", "for", "loop", "return", "fn", "let", "move", "in", "as",
+    "where", "impl",
+];
+
+/// Keywords that may directly precede `[` without the bracket being an
+/// index expression (`for x in [...]`, `return [...]`, `&mut [...]`).
+const EXPR_KEYWORDS: [&str; 10] = [
+    "in", "return", "if", "else", "match", "break", "mut", "ref", "move", "const",
+];
+
+/// The `osn_graph::par` entry points whose closures cross the thread
+/// boundary.
+const PAR_ENTRIES: [&str; 3] = ["map_indexed", "map_indexed_with", "map_slice"];
+
+/// Parse one file. `test_spans` are the `#[cfg(test)]`/`#[test]` line
+/// ranges computed by the token rules (shared so both layers agree on
+/// what counts as test code).
+pub fn parse(src: &str, test_spans: &[(u32, u32)]) -> ParsedFile {
+    let toks = lex(src);
+    let in_test = |line: u32| test_spans.iter().any(|&(a, b)| line >= a && line <= b);
+    let mut out = ParsedFile::default();
+
+    let mut idents: Vec<String> = Vec::new();
+    let mut test_idents: Vec<String> = Vec::new();
+    for t in toks.iter().filter(|t| t.kind == TokKind::Ident) {
+        idents.push(t.text(src).to_string());
+        if in_test(t.line) {
+            test_idents.push(t.text(src).to_string());
+        }
+    }
+    idents.sort_unstable();
+    idents.dedup();
+    test_idents.sort_unstable();
+    test_idents.dedup();
+    out.idents = idents;
+    out.test_idents = test_idents;
+
+    // Scope stacks: (name, brace depth at which the block opened).
+    let mut depth: i32 = 0;
+    let mut mods: Vec<(String, i32)> = Vec::new();
+    let mut impls: Vec<(String, i32)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct(b'{') => {
+                depth += 1;
+                i += 1;
+            }
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                while mods.last().is_some_and(|&(_, d)| d > depth) {
+                    mods.pop();
+                }
+                while impls.last().is_some_and(|&(_, d)| d > depth) {
+                    impls.pop();
+                }
+                i += 1;
+            }
+            TokKind::Ident => {
+                let text = t.text(src);
+                match text {
+                    "mod" => {
+                        // `mod name { … }` or `mod name;` (out-of-line).
+                        if let Some(name_tok) = toks.get(i + 1) {
+                            if name_tok.kind == TokKind::Ident
+                                && toks.get(i + 2).is_some_and(|x| x.is_punct(b'{'))
+                            {
+                                mods.push((name_tok.text(src).to_string(), depth + 1));
+                                depth += 1;
+                                i += 3;
+                                continue;
+                            }
+                        }
+                        i += 1;
+                    }
+                    "impl" => {
+                        if let Some((ty, body_open)) = impl_self_type(src, &toks, i) {
+                            impls.push((ty, depth + 1));
+                            depth += 1;
+                            i = body_open + 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    "fn" => {
+                        let (def, next) = parse_fn(src, &toks, i, &mods, &impls, &in_test);
+                        if let Some(def) = def {
+                            out.fns.push(def);
+                        }
+                        i = next;
+                    }
+                    "struct" | "enum" | "trait" | "type" | "const" | "static" => {
+                        // Module-level items only: they sit exactly at the
+                        // depth of the innermost `mod` block (0 at file top
+                        // level), which excludes `const`s inside fn bodies
+                        // and associated items inside `impl` blocks.
+                        let at_mod_level = depth == mods.last().map_or(0, |&(_, d)| d)
+                            && impls.last().is_none_or(|&(_, d)| d != depth);
+                        if at_mod_level {
+                            if let Some(name_tok) = toks.get(i + 1) {
+                                if name_tok.kind == TokKind::Ident {
+                                    out.items.push(ItemDef {
+                                        kind: text.to_string(),
+                                        name: name_tok.text(src).to_string(),
+                                        vis: visibility(src, &toks, i),
+                                        line: t.line,
+                                        in_test: in_test(t.line),
+                                    });
+                                }
+                            }
+                        }
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Determine the visibility written immediately before item keyword at
+/// `kw_idx`, skipping `const`/`unsafe`/`async`/`extern "…"` qualifiers.
+fn visibility(src: &str, toks: &[Token], kw_idx: usize) -> Vis {
+    let mut i = kw_idx;
+    // Walk back over fn qualifiers.
+    while let Some(prev) = i.checked_sub(1).and_then(|p| toks.get(p)) {
+        let is_qual = prev.kind == TokKind::Ident
+            && matches!(prev.text(src), "const" | "unsafe" | "async" | "extern")
+            || prev.kind == TokKind::Str;
+        if is_qual {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    let Some(prev) = i.checked_sub(1).and_then(|p| toks.get(p)) else {
+        return Vis::Private;
+    };
+    if prev.is_ident(src, "pub") {
+        return Vis::Pub;
+    }
+    // `pub ( crate ) kw` — prev is `)`; walk back to the matching `(`
+    // and check the token before it.
+    if prev.is_punct(b')') {
+        let mut j = i - 1;
+        let mut d = 0i32;
+        while j > 0 {
+            if toks[j].is_punct(b')') {
+                d += 1;
+            } else if toks[j].is_punct(b'(') {
+                d -= 1;
+                if d == 0 {
+                    break;
+                }
+            }
+            j -= 1;
+        }
+        if j > 0 && toks.get(j - 1).is_some_and(|t| t.is_ident(src, "pub")) {
+            return Vis::PubRestricted;
+        }
+    }
+    Vis::Private
+}
+
+/// For `impl …` at `impl_idx`, return the self type name and the token
+/// index of the body `{`.
+fn impl_self_type(src: &str, toks: &[Token], impl_idx: usize) -> Option<(String, usize)> {
+    let mut i = impl_idx + 1;
+    // Skip generic parameters `<…>`.
+    if toks.get(i).is_some_and(|t| t.is_punct(b'<')) {
+        let mut d = 0i32;
+        while i < toks.len() {
+            if toks[i].is_punct(b'<') {
+                d += 1;
+            } else if toks[i].is_punct(b'>') {
+                d -= 1;
+                if d == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    // Scan to the body `{`, remembering the last type name seen at angle
+    // depth 0 and whether a `for` appeared (trait impl: type follows it).
+    let mut d = 0i32;
+    let mut last_ty: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct(b'<') => d += 1,
+            TokKind::Punct(b'>') => d -= 1,
+            TokKind::Punct(b'{') if d <= 0 => {
+                let ty = if saw_for { after_for } else { last_ty };
+                return ty.map(|ty| (ty, i));
+            }
+            TokKind::Punct(b';') => return None,
+            TokKind::Ident if d <= 0 => {
+                let text = t.text(src);
+                if text == "for" {
+                    saw_for = true;
+                } else if text == "where" {
+                    // Self type is settled; keep scanning for `{`.
+                } else if text != "dyn" && text != "mut" {
+                    if saw_for && after_for.is_none() {
+                        after_for = Some(text.to_string());
+                    } else if !saw_for {
+                        last_ty = Some(text.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parse one `fn` item starting at the `fn` keyword; returns the
+/// definition (None for bodyless trait-method declarations) and the token
+/// index to resume scanning at (past the body, so nested closures/items
+/// inside bodies are attributed to this function, while nested `fn` items
+/// are rare enough to fold into the parent — a deliberate simplification).
+fn parse_fn(
+    src: &str,
+    toks: &[Token],
+    fn_idx: usize,
+    mods: &[(String, i32)],
+    impls: &[(String, i32)],
+    in_test: &dyn Fn(u32) -> bool,
+) -> (Option<FnDef>, usize) {
+    let Some(name_tok) = toks.get(fn_idx + 1) else {
+        return (None, fn_idx + 1);
+    };
+    if name_tok.kind != TokKind::Ident {
+        return (None, fn_idx + 1);
+    }
+    let name = name_tok.text(src).to_string();
+
+    // Find the body `{` at angle/paren depth 0, or `;` (no body).
+    let mut i = fn_idx + 2;
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    let mut body_open = None;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct(b'<') => angle += 1,
+            TokKind::Punct(b'>') => angle = (angle - 1).max(0),
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') => paren += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') => paren -= 1,
+            TokKind::Punct(b'-') => {
+                // `-> Type` may contain `<`…: reset angle tracking is not
+                // needed; generic returns keep balanced angles.
+            }
+            TokKind::Punct(b'{') if paren == 0 && angle <= 0 => {
+                body_open = Some(i);
+                break;
+            }
+            TokKind::Punct(b';') if paren == 0 && angle <= 0 => {
+                return (None, i + 1);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let Some(open) = body_open else {
+        return (None, i);
+    };
+    // Matching close brace.
+    let mut d = 0i32;
+    let mut close = open;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct(b'{') => d += 1,
+            TokKind::Punct(b'}') => {
+                d -= 1;
+                if d == 0 {
+                    close = j;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut def = FnDef {
+        name,
+        modules: mods.iter().map(|(m, _)| m.clone()).collect(),
+        self_ty: impls.last().map(|(t, _)| t.clone()),
+        vis: visibility(src, toks, fn_idx),
+        line: toks[fn_idx].line,
+        calls: Vec::new(),
+        panics: Vec::new(),
+        reductions: Vec::new(),
+        par_calls: Vec::new(),
+        float_evidence: false,
+        has_guard: false,
+        in_test: in_test(toks[fn_idx].line),
+    };
+    scan_body(src, toks, open, close, &mut def);
+    (Some(def), close + 1)
+}
+
+/// Walk a function body's tokens collecting calls, panic sites, float
+/// reductions, and `par::` call sites.
+fn scan_body(src: &str, toks: &[Token], open: usize, close: usize, def: &mut FnDef) {
+    let mut loop_stack: Vec<i32> = Vec::new(); // brace depth of loop bodies
+    let mut depth = 0i32;
+    let mut index_sites: Vec<(String, u32, u32)> = Vec::new();
+    let mut i = open;
+    while i <= close && i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                while loop_stack.last().is_some_and(|&d| d > depth) {
+                    loop_stack.pop();
+                }
+            }
+            TokKind::Punct(b'[') => {
+                // Indexing: previous token ends an expression. `#[…]`
+                // attributes are excluded by the `#` check; a keyword
+                // before `[` means an array literal, not indexing.
+                let prev = i.checked_sub(1).map(|p| &toks[p]);
+                let indexes = prev.is_some_and(|p| {
+                    matches!(p.kind, TokKind::Ident | TokKind::Punct(b')') | TokKind::Punct(b']'))
+                        && !EXPR_KEYWORDS.iter().any(|k| p.is_ident(src, k))
+                });
+                if indexes {
+                    // Only *computed* indices (arithmetic inside the
+                    // brackets — the off-by-one class) count as panic
+                    // sites. Plain `v[i]` lookups are the NodeId-indexing
+                    // idiom whose bounds the container's constructor
+                    // established; flagging them would drown the report.
+                    let mut j = i + 1;
+                    let mut d = 1;
+                    let mut computed = false;
+                    while j <= close && j < toks.len() && d > 0 {
+                        match toks[j].kind {
+                            TokKind::Punct(b'[') => d += 1,
+                            TokKind::Punct(b']') => d -= 1,
+                            TokKind::Punct(b'+' | b'-' | b'*' | b'/' | b'%') if d == 1 => {
+                                computed = true
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if computed {
+                        let what = prev
+                            .filter(|p| p.kind == TokKind::Ident)
+                            .map(|p| p.text(src).to_string())
+                            .unwrap_or_else(|| "<expr>".to_string());
+                        index_sites.push((what, t.line, t.col));
+                    }
+                }
+            }
+            TokKind::Punct(b'+') | TokKind::Punct(b'*')
+                if toks.get(i + 1).is_some_and(|n| n.is_punct(b'=') && n.start == t.end) =>
+            {
+                // `x += 1;` — an integer-literal step is a counter, not a
+                // float accumulation, regardless of the function's floats.
+                let int_step = toks.get(i + 2).is_some_and(|n| {
+                    n.kind == TokKind::Num && !n.text(src).contains('.')
+                }) && toks.get(i + 3).is_some_and(|n| n.is_punct(b';'));
+                if !loop_stack.is_empty() && !int_step {
+                    let what = if t.is_punct(b'+') { "+=" } else { "*=" };
+                    def.reductions.push(ReductionSite {
+                        what: what.to_string(),
+                        definite: false,
+                        tok: i,
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+            }
+            // Float literal: `1` `.` `5` or `0` `.` (trailing) with byte
+            // adjacency.
+            TokKind::Num
+                if toks.get(i + 1).is_some_and(|d| d.is_punct(b'.') && d.start == t.end) =>
+            {
+                def.float_evidence = true;
+            }
+            TokKind::Ident => {
+                let text = t.text(src);
+                if text == "f32" || text == "f64" {
+                    def.float_evidence = true;
+                }
+                if GUARD_IDENTS.contains(&text) {
+                    def.has_guard = true;
+                }
+                if text == "for" || text == "while" || text == "loop" {
+                    // The loop body opens at the next depth level.
+                    loop_stack.push(depth + 1);
+                }
+                // Panic macros.
+                if PANIC_MACROS.contains(&text)
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct(b'!'))
+                {
+                    def.panics.push(PanicSite {
+                        kind: PanicKind::Macro,
+                        what: format!("{text}!"),
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+                // Method-style panic sites.
+                let is_method = i >= 1 && toks[i - 1].is_punct(b'.');
+                if is_method
+                    && (text == "unwrap" || text == "expect")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct(b'('))
+                {
+                    def.panics.push(PanicSite {
+                        kind: if text == "unwrap" {
+                            PanicKind::Unwrap
+                        } else {
+                            PanicKind::Expect
+                        },
+                        what: format!(".{text}()"),
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+                // Calls: `name(`, `name::<T>(`, `path::name(`, `.name(`.
+                let mut call_paren = None;
+                if toks.get(i + 1).is_some_and(|n| n.is_punct(b'(')) {
+                    call_paren = Some(i + 1);
+                } else if toks.get(i + 1).is_some_and(|n| n.is_punct(b':'))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct(b':'))
+                    && toks.get(i + 3).is_some_and(|n| n.is_punct(b'<'))
+                {
+                    // Turbofish: skip the `<…>` and require `(`.
+                    let mut d = 0i32;
+                    let mut j = i + 3;
+                    while j < toks.len() {
+                        if toks[j].is_punct(b'<') {
+                            d += 1;
+                        } else if toks[j].is_punct(b'>') {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    if toks.get(j + 1).is_some_and(|n| n.is_punct(b'(')) {
+                        call_paren = Some(j + 1);
+                        // Float-typed reductions are definite.
+                        if matches!(text, "sum" | "product" | "fold") {
+                            let tf: Vec<&str> = toks[i + 3..j]
+                                .iter()
+                                .filter(|x| x.kind == TokKind::Ident)
+                                .map(|x| x.text(src))
+                                .collect();
+                            if tf.contains(&"f32") || tf.contains(&"f64") {
+                                def.reductions.push(ReductionSite {
+                                    what: text.to_string(),
+                                    definite: true,
+                                    tok: i,
+                                    line: t.line,
+                                    col: t.col,
+                                });
+                            }
+                        }
+                    }
+                }
+                if let Some(paren) = call_paren {
+                    if !NON_CALL_KEYWORDS.contains(&text) {
+                        let method = is_method;
+                        // Plain (non-turbofish) reduction methods.
+                        if method
+                            && matches!(text, "sum" | "product" | "fold")
+                            && paren == i + 1
+                        {
+                            def.reductions.push(ReductionSite {
+                                what: text.to_string(),
+                                definite: false,
+                                tok: i,
+                                line: t.line,
+                                col: t.col,
+                            });
+                        }
+                        let path = if method { Vec::new() } else { path_before(src, toks, i) };
+                        // `par::map_*` entry points get closure-capture
+                        // analysis over their argument span.
+                        if !method
+                            && PAR_ENTRIES.contains(&text)
+                            && path.last().is_some_and(|p| p == "par")
+                        {
+                            let close_paren = matching_paren(toks, paren);
+                            def.par_calls.push(ParCall {
+                                entry: text.to_string(),
+                                args: (paren, close_paren),
+                                captures: closure_captures(src, toks, paren, close_paren),
+                                line: t.line,
+                                col: t.col,
+                            });
+                        }
+                        def.calls.push(Call {
+                            name: text.to_string(),
+                            path,
+                            method,
+                            tok: i,
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if !def.has_guard {
+        for (what, line, col) in index_sites {
+            def.panics.push(PanicSite {
+                kind: PanicKind::Index,
+                what: format!("{what}[…]"),
+                line,
+                col,
+            });
+        }
+        def.panics.sort_by_key(|a| (a.line, a.col));
+    }
+}
+
+/// Path segments written before the ident at `idx` (`a::b::name` → `[a, b]`).
+fn path_before(src: &str, toks: &[Token], idx: usize) -> Vec<String> {
+    let mut segs: Vec<String> = Vec::new();
+    let mut i = idx;
+    while let Some([seg, c1, c2]) = i.checked_sub(3).and_then(|p| toks.get(p..i)) {
+        if !(c1.is_punct(b':') && c2.is_punct(b':') && seg.kind == TokKind::Ident) {
+            break;
+        }
+        segs.push(seg.text(src).to_string());
+        i -= 3;
+    }
+    segs.reverse();
+    segs
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(toks: &[Token], open: usize) -> usize {
+    let mut d = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(b'(') {
+            d += 1;
+        } else if t.is_punct(b')') {
+            d -= 1;
+            if d == 0 {
+                return j;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Analyze the argument span of a `par::` call for mutable state and RNG
+/// handles captured from the enclosing scope.
+///
+/// Locals are approximated as: closure parameters (idents between `|…|`
+/// pairs), `let` bindings inside the span, and `for` loop variables. Any
+/// `&mut NAME` or `NAME.method(…)` where `NAME` looks like an RNG
+/// (contains "rng") referring to a non-local is reported.
+fn closure_captures(src: &str, toks: &[Token], open: usize, close: usize) -> Vec<Capture> {
+    let mut locals: Vec<&str> = Vec::new();
+    let mut i = open;
+    while i < close {
+        let t = &toks[i];
+        if t.is_punct(b'|') {
+            // Closure parameter list: idents up to the next `|`.
+            let mut j = i + 1;
+            while j < close && !toks[j].is_punct(b'|') {
+                if toks[j].kind == TokKind::Ident && !toks[j].is_ident(src, "mut") {
+                    locals.push(toks[j].text(src));
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        if t.is_ident(src, "let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|x| x.is_ident(src, "mut")) {
+                j += 1;
+            }
+            // Bind simple and tuple patterns: idents up to `=` or `:`.
+            while j < close
+                && !toks[j].is_punct(b'=')
+                && !toks[j].is_punct(b';')
+                && j - i < 16
+            {
+                if toks[j].kind == TokKind::Ident && !toks[j].is_ident(src, "mut") {
+                    locals.push(toks[j].text(src));
+                }
+                j += 1;
+            }
+        }
+        if t.is_ident(src, "for") {
+            let mut j = i + 1;
+            while j < close && !toks[j].is_ident(src, "in") && j - i < 16 {
+                if toks[j].kind == TokKind::Ident {
+                    locals.push(toks[j].text(src));
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+
+    let mut out = Vec::new();
+    for i in open..close {
+        let t = &toks[i];
+        // `& mut NAME`
+        if t.is_punct(b'&')
+            && toks.get(i + 1).is_some_and(|x| x.is_ident(src, "mut"))
+            && toks.get(i + 2).is_some_and(|x| x.kind == TokKind::Ident)
+        {
+            let name = toks[i + 2].text(src);
+            if !locals.contains(&name) {
+                out.push(Capture {
+                    name: name.to_string(),
+                    how: "&mut",
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+        }
+        // `NAME.method(` where NAME contains "rng"
+        if t.kind == TokKind::Ident
+            && t.text(src).to_ascii_lowercase().contains("rng")
+            && toks.get(i + 1).is_some_and(|x| x.is_punct(b'.'))
+            && toks.get(i + 2).is_some_and(|x| x.kind == TokKind::Ident)
+            && toks.get(i + 3).is_some_and(|x| x.is_punct(b'('))
+        {
+            let name = t.text(src);
+            if !locals.contains(&name) {
+                out.push(Capture {
+                    name: name.to_string(),
+                    how: "rng",
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::test_line_spans_for;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(src, &test_line_spans_for(src))
+    }
+
+    #[test]
+    fn extracts_fns_with_visibility_modules_and_impls() {
+        let src = "pub fn a() {}\nfn b() {}\npub(crate) fn c() {}\n\
+                   mod inner { pub fn d() {} }\n\
+                   struct T;\nimpl T { pub fn m(&self) {} }\n\
+                   trait Tr { fn decl(&self); }\nimpl Tr for T { fn decl(&self) {} }\n";
+        let p = parse_src(src);
+        let names: Vec<(&str, Vis)> = p.fns.iter().map(|f| (f.name.as_str(), f.vis)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("a", Vis::Pub),
+                ("b", Vis::Private),
+                ("c", Vis::PubRestricted),
+                ("d", Vis::Pub),
+                ("m", Vis::Pub),
+                ("decl", Vis::Private),
+            ]
+        );
+        assert_eq!(p.fns[3].modules, vec!["inner".to_string()]);
+        assert_eq!(p.fns[4].self_ty.as_deref(), Some("T"));
+        assert_eq!(p.fns[5].self_ty.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn extracts_calls_paths_and_methods() {
+        let src = "fn f(g: &G) { helper(); osn_graph::bfs::distances(g); v.push(1); }\n";
+        let p = parse_src(src);
+        let calls = &p.fns[0].calls;
+        assert_eq!(calls[0].name, "helper");
+        assert!(calls[0].path.is_empty() && !calls[0].method);
+        assert_eq!(calls[1].name, "distances");
+        assert_eq!(calls[1].path, vec!["osn_graph".to_string(), "bfs".to_string()]);
+        assert_eq!(calls[2].name, "push");
+        assert!(calls[2].method);
+    }
+
+    #[test]
+    fn finds_panic_sites_and_guard_free_indexing() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 { v[i + 1] }\n\
+                   fn g(v: &[u32], i: usize) -> u32 { if i + 1 < v.len() { v[i + 1] } else { 0 } }\n\
+                   fn h(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   fn p() { panic!(\"no\"); }\n\
+                   fn plain(v: &[u32], i: usize) -> u32 { v[i] }\n\
+                   fn lit() -> u32 { let mut s = 0; for x in [1, 2] { s += x; } s }\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns[0].panics.len(), 1);
+        assert_eq!(p.fns[0].panics[0].kind, PanicKind::Index);
+        assert!(p.fns[1].panics.is_empty(), "len() guard suppresses indexing");
+        assert_eq!(p.fns[2].panics[0].kind, PanicKind::Unwrap);
+        assert_eq!(p.fns[3].panics[0].kind, PanicKind::Macro);
+        assert!(p.fns[4].panics.is_empty(), "plain v[i] is not a panic site");
+        assert!(p.fns[5].panics.is_empty(), "array literal after `in` is not indexing");
+    }
+
+    #[test]
+    fn finds_float_reductions() {
+        let src = "fn s(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n\
+                   fn t(xs: &[f64]) -> f64 { let mut a = 0.0; for x in xs { a += x; } a }\n\
+                   fn u(xs: &[u32]) -> u32 { let mut a = 0; for x in xs { a += x; } a }\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns[0].reductions.len(), 1);
+        assert!(p.fns[0].reductions[0].definite);
+        assert_eq!(p.fns[1].reductions.len(), 1);
+        assert!(p.fns[1].float_evidence);
+        assert_eq!(p.fns[2].reductions.len(), 1, "+= in loop is a candidate");
+        assert!(!p.fns[2].float_evidence, "but integer fns have no float evidence");
+    }
+
+    #[test]
+    fn finds_par_calls_and_captures() {
+        let src = "fn f(n: usize, rng: &mut R) -> Vec<u32> {\n\
+                   par::map_indexed(n, |i| { let mut acc = 0; acc += i; rng.next(acc) })\n\
+                   }\n\
+                   fn ok(n: usize) -> Vec<usize> { par::map_indexed(n, |i| { let mut v = vec![]; v.push(i); v.len() }) }\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns[0].par_calls.len(), 1);
+        let pc = &p.fns[0].par_calls[0];
+        assert_eq!(pc.entry, "map_indexed");
+        assert_eq!(pc.captures.len(), 1);
+        assert_eq!(pc.captures[0].name, "rng");
+        assert_eq!(pc.captures[0].how, "rng");
+        assert!(p.fns[1].par_calls[0].captures.is_empty());
+    }
+
+    #[test]
+    fn collects_pub_items_and_idents() {
+        let src = "pub struct S;\npub enum E { A }\nconst PRIVATE: u32 = 1;\n\
+                   pub trait T {}\n#[cfg(test)]\nmod tests { pub struct Hidden; }\n";
+        let p = parse_src(src);
+        let pubs: Vec<(&str, &str)> = p
+            .items
+            .iter()
+            .filter(|i| i.vis == Vis::Pub && !i.in_test)
+            .map(|i| (i.kind.as_str(), i.name.as_str()))
+            .collect();
+        assert_eq!(pubs, vec![("struct", "S"), ("enum", "E"), ("trait", "T")]);
+        assert!(p.idents.binary_search(&"PRIVATE".to_string()).is_ok());
+    }
+}

@@ -4,7 +4,8 @@
 //! machine-readable contract is fully controlled by this module: an
 //! object with `violations`, `allowed`, and `unused_allowlist_entries`
 //! arrays, each finding carrying `rule`, `path`, `line`, `col`,
-//! `message`, and `snippet`.
+//! `message`, `snippet`, and (for the semantic S-series) a `trace` array
+//! holding the call chain that explains the finding, one edge per entry.
 
 use crate::allowlist::AllowEntry;
 
@@ -23,6 +24,9 @@ pub struct Finding {
     pub message: String,
     /// The trimmed source line the finding points at.
     pub snippet: String,
+    /// Call-chain explanation (semantic rules only; empty for D-rules).
+    /// Each entry is one step, e.g. `a::entry calls a::helper at src/lib.rs:3`.
+    pub trace: Vec<String>,
 }
 
 /// A full lint run: partitioned findings plus scan metadata.
@@ -55,6 +59,9 @@ pub fn render_human(r: &Report) -> String {
             "error[{}]: {}\n  --> {}:{}:{}\n   | {}\n",
             f.rule, f.message, f.path, f.line, f.col, f.snippet
         ));
+        for step in &f.trace {
+            s.push_str(&format!("   = note: {step}\n"));
+        }
     }
     for (f, why) in &r.allowed {
         s.push_str(&format!(
@@ -128,6 +135,16 @@ where
             json_str(&f.message),
             json_str(&f.snippet)
         ));
+        if !f.trace.is_empty() {
+            s.push_str(", \"trace\": [");
+            for (i, step) in f.trace.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&json_str(step));
+            }
+            s.push(']');
+        }
         if let Some(j) = justification {
             s.push_str(&format!(", \"justification\": {}", json_str(j)));
         }
@@ -170,6 +187,7 @@ mod tests {
                 col: 9,
                 message: "unordered iteration".into(),
                 snippet: "for (k, v) in &m {".into(),
+                trace: vec!["x::f calls x::g at crates/x/src/a.rs:3".into()],
             }],
             allowed: vec![(
                 Finding {
@@ -179,6 +197,7 @@ mod tests {
                     col: 1,
                     message: "Mutex".into(),
                     snippet: "use std::sync::Mutex;".into(),
+                    trace: Vec::new(),
                 },
                 "memo cache; value-identical under any interleaving".into(),
             )],
@@ -194,6 +213,7 @@ mod tests {
         assert!(s.contains("crates/x/src/a.rs:3:9"), "{s}");
         assert!(s.contains("allowed[D003]"), "{s}");
         assert!(s.contains("1 violation,"), "{s}");
+        assert!(s.contains("   = note: x::f calls x::g"), "{s}");
     }
 
     #[test]
@@ -203,6 +223,10 @@ mod tests {
         assert!(s.contains("\"line\": 3"), "{s}");
         assert!(s.contains("\"clean\": false"), "{s}");
         assert!(s.contains("\"justification\": \"memo cache"), "{s}");
+        assert!(
+            s.contains("\"trace\": [\"x::f calls x::g at crates/x/src/a.rs:3\"]"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -37,8 +37,17 @@ pub struct FileCtx<'s> {
     pub src: &'s str,
 }
 
-/// All rule codes, in order.
+/// All token-rule codes, in order.
 pub const ALL_RULES: [&str; 6] = ["D001", "D002", "D003", "D004", "D005", "D006"];
+
+/// All semantic (call-graph) rule codes, in order. These run only with
+/// `--workspace`, because they need every file to resolve calls.
+pub const SEM_RULES: [&str; 5] = ["S101", "S102", "S103", "S104", "S105"];
+
+/// Is `code` any rule this tool knows (token or semantic)?
+pub fn is_known_rule(code: &str) -> bool {
+    ALL_RULES.contains(&code) || SEM_RULES.contains(&code)
+}
 
 /// One-line summary per rule code (for `--list-rules` and diagnostics).
 pub fn rule_summary(code: &str) -> &'static str {
@@ -49,8 +58,76 @@ pub fn rule_summary(code: &str) -> &'static str {
         "D004" => "panic in non-test library code (unwrap / expect / panic! / todo! / unreachable!)",
         "D005" => "library crate missing #![forbid(unsafe_code)]",
         "D006" => "entropy-seeded RNG (thread_rng / OsRng / from_entropy / rand::random)",
+        "S101" => "panic site reachable from a pub library fn through the call graph",
+        "S102" => "non-associative float reduction reachable from a par:: map/sweep closure",
+        "S103" => "&mut state or RNG handle captured by a closure crossing the par boundary",
+        "S104" => "dead export: pub item unused by any bin, test, bench, example, or other crate",
+        "S105" => "stale lint.toml allowlist entry (matched nothing this run)",
         _ => "unknown rule",
     }
+}
+
+/// Multi-paragraph explanation per rule code (for `--explain CODE`).
+pub fn rule_explanation(code: &str) -> Option<&'static str> {
+    Some(match code {
+        "D001" => "D001 — unordered hash iteration\n\nIterating a HashMap/HashSet visits \
+                   entries in randomized order, so any output derived from the walk differs \
+                   between runs. Library code must iterate BTreeMap/BTreeSet or sort before \
+                   emitting.",
+        "D002" => "D002 — wall-clock reads\n\nInstant::now()/SystemTime readings leak \
+                   nondeterminism into results. Only crates/bench and the repro CLI may \
+                   measure time.",
+        "D003" => "D003 — raw threading primitives\n\nAll parallelism flows through \
+                   osn_graph::par, whose deterministic map is the one reviewed concurrency \
+                   surface. thread::spawn/Mutex/atomics elsewhere bypass that review.",
+        "D004" => "D004 — panics in library code\n\nunwrap/expect/panic! in a library turns \
+                   a recoverable condition into an abort for every caller. Return \
+                   Result/Option instead; reviewed invariants go in lint.toml.",
+        "D005" => "D005 — forbid(unsafe_code)\n\nEvery library crate root must carry \
+                   #![forbid(unsafe_code)] so the guarantee is compiler-checked, not policy.",
+        "D006" => "D006 — seeded RNGs only\n\nthread_rng/OsRng/from_entropy draw from the \
+                   OS entropy pool, making runs unrepeatable. All randomness must come from \
+                   an explicitly seeded generator.",
+        "S101" => "S101 — panic reachability\n\nD004 flags panic sites; S101 flags panic \
+                   *exposure*: a panic site (unwrap / expect / panic-family macro / indexing \
+                   in a guard-free function) that a pub library function can reach through \
+                   the workspace call graph. The finding is anchored at the panic site and \
+                   carries the shortest call chain from the nearest pub entry point as a \
+                   trace, one `caller calls callee at file:line` step per edge.\n\nFix by \
+                   propagating Result/Option along the chain, or allowlist the site in \
+                   lint.toml with the invariant that makes the panic unreachable. The call \
+                   graph is name-resolved and over-approximate: it may report a chain that \
+                   type analysis would rule out, but it never hides one.",
+        "S102" => "S102 — float reductions under par\n\nFloating-point addition is not \
+                   associative, so a sum/fold/accumulate loop over f32/f64 yields different \
+                   bits under different evaluation orders. Inside a par::map_indexed / \
+                   map_indexed_with / map_slice closure — or any function the closure \
+                   reaches — such a reduction is one refactor away from breaking the \
+                   bit-identical-across-thread-counts guarantee.\n\nThe trace names the \
+                   parallel entry point and the call chain to the reduction. Reductions \
+                   whose order is fixed per item (a serial loop over one node's \
+                   neighbourhood) are sound: allowlist the kernel in lint.toml and state \
+                   that ordering argument in the justification.",
+        "S103" => "S103 — mutable capture across the par boundary\n\nA closure passed to a \
+                   par:: entry that captures `&mut` state or an RNG handle from the \
+                   enclosing scope would observe mutations in thread-interleaving order. \
+                   Per-worker scratch belongs in the `init` closure of map_indexed_with; \
+                   randomness must be derived per item from the item index, never drawn \
+                   from a captured generator.",
+        "S104" => "S104 — dead exports\n\nA pub item that no bin, test, bench, example, or \
+                   other crate ever names is API surface the workspace maintains but never \
+                   exercises — it dodges the whole test suite. Demote it to pub(crate) (it \
+                   stays visible to siblings in its own crate) or delete it. Usage is \
+                   detected by name across the workspace, which over-approximates liveness: \
+                   anything S104 still flags has not even a name-collision excuse.",
+        "S105" => "S105 — stale allowlist entries\n\nAn [[allow]] entry in lint.toml that \
+                   matched no finding this run documents an exception that no longer \
+                   exists; left in place it would silently re-arm if the pattern ever came \
+                   back. S105 reports the entry at its line in lint.toml as an error. Run \
+                   `sybil-lint --workspace --fix-allowlist` to delete stale entries; when \
+                   nothing is stale the rewrite is byte-identical.",
+        _ => return None,
+    })
 }
 
 /// Lint one file, returning all findings (allowlist not yet applied).
@@ -85,11 +162,18 @@ fn finding(ctx: &FileCtx<'_>, rule: &'static str, tok: &Token, message: String) 
         col: tok.col,
         message,
         snippet: line_text(ctx.src, tok.line).trim().to_string(),
+        trace: Vec::new(),
     }
 }
 
 fn line_text(src: &str, line: u32) -> &str {
     src.lines().nth(line as usize - 1).unwrap_or("")
+}
+
+/// [`test_line_spans`] from raw source — shared with the semantic layer
+/// ([`crate::parser`]) so both agree on what counts as test code.
+pub fn test_line_spans_for(src: &str) -> Vec<(u32, u32)> {
+    test_line_spans(src, &lex(src))
 }
 
 /// Compute the (start, end) line spans of test-only code: items annotated
@@ -592,6 +676,7 @@ fn d005_forbid_unsafe(ctx: &FileCtx<'_>, toks: &[Token], out: &mut Vec<Finding>)
             col: 1,
             message: "library crate is missing `#![forbid(unsafe_code)]`".to_string(),
             snippet: line_text(ctx.src, 1).trim().to_string(),
+            trace: Vec::new(),
         });
     }
 }

@@ -1,0 +1,368 @@
+//! The semantic S-series rules (S101–S104) over the workspace call graph.
+//!
+//! Unlike the token rules (D001–D006), which judge one file at a time,
+//! these rules need the whole-workspace [`WorkspaceModel`] and
+//! [`CallGraph`]: panic *reachability*, parallel-boundary *escape*, and
+//! dead-*export* analysis are all cross-file properties. Every finding
+//! carries a call-chain trace explaining, edge by edge, why the rule
+//! fired. S105 (allowlist staleness) lives in
+//! [`workspace::run_workspace`](crate::workspace::run_workspace) because
+//! it judges the allowlist itself, not the source.
+
+use crate::callgraph::{CallGraph, Edge};
+use crate::parser::{PanicKind, Vis};
+use crate::report::Finding;
+use crate::symbols::{FnIdx, WorkspaceModel};
+
+/// Run S101–S104, returning findings sorted by (path, line, col, rule).
+pub fn check_workspace(model: &WorkspaceModel) -> Vec<Finding> {
+    let cg = CallGraph::build(model);
+    let mut out = Vec::new();
+    s101_panic_reachability(model, &cg, &mut out);
+    s102_float_reductions(model, &cg, &mut out);
+    s103_par_captures(model, &mut out);
+    s104_dead_exports(model, &mut out);
+    out.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    out
+}
+
+fn line_text(src: &str, line: u32) -> String {
+    src.lines()
+        .nth(line as usize - 1)
+        .unwrap_or("")
+        .trim()
+        .to_string()
+}
+
+/// `caller calls callee at file:line` for one forward edge.
+fn edge_step(model: &WorkspaceModel, e: &Edge) -> String {
+    format!(
+        "{} calls {} at {}:{}",
+        model.fq_name(e.from),
+        model.fq_name(e.to),
+        model.path_of(e.from),
+        e.line
+    )
+}
+
+/// S101: panic reachability. Any `pub` library function from which a
+/// panic site (`unwrap` / `expect` / panic-family macro / guard-free
+/// indexing) is reachable through the call graph is a violation, reported
+/// at the panic site with the full call chain from the nearest `pub`
+/// entry point.
+fn s101_panic_reachability(model: &WorkspaceModel, cg: &CallGraph, out: &mut Vec<Finding>) {
+    for f in 0..model.fns.len() {
+        if !model.is_lib_fn(f) || model.fns[f].def.panics.is_empty() {
+            continue;
+        }
+        let Some((anc, path)) = cg.nearest_ancestor(f, |i| model.is_pub_api(i)) else {
+            continue; // not reachable from any exported function
+        };
+        let file = &model.files[model.fns[f].file];
+        for site in &model.fns[f].def.panics {
+            let verb = match site.kind {
+                PanicKind::Unwrap | PanicKind::Expect => "panics via",
+                PanicKind::Macro => "panics with",
+                PanicKind::Index => "may panic on unguarded index",
+            };
+            let mut trace: Vec<String> = path.iter().map(|e| edge_step(model, e)).collect();
+            trace.push(format!(
+                "{} {} `{}` at {}:{}",
+                model.fq_name(f),
+                verb,
+                site.what,
+                file.rel,
+                site.line
+            ));
+            out.push(Finding {
+                rule: "S101",
+                path: file.rel.clone(),
+                line: site.line,
+                col: site.col,
+                message: format!(
+                    "`{}` is reachable from pub `{}` ({} call{} away); propagate \
+                     Result/Option or allowlist with the guarding invariant",
+                    site.what,
+                    model.fq_name(anc),
+                    path.len(),
+                    if path.len() == 1 { "" } else { "s" },
+                ),
+                snippet: line_text(&file.src, site.line),
+                trace,
+            });
+        }
+    }
+}
+
+/// S102: non-associative floating-point reductions (`sum` / `fold` /
+/// `+=`-in-loop over `f32`/`f64`) in functions reachable from a `par::`
+/// map/sweep closure. Reordering such a reduction across the thread
+/// boundary would break the bit-identical guarantee; reviewed kernels
+/// whose reduction order is fixed per item belong in the allowlist.
+fn s102_float_reductions(model: &WorkspaceModel, cg: &CallGraph, out: &mut Vec<Finding>) {
+    // Par entry sites in deterministic order: (fn, par-call position).
+    struct Entry {
+        caller: FnIdx,
+        label: String,
+        at: String,
+        roots: Vec<FnIdx>,
+        args: (usize, usize),
+    }
+    let mut entries: Vec<Entry> = Vec::new();
+    for f in 0..model.fns.len() {
+        if !model.is_lib_fn(f) {
+            continue;
+        }
+        let def = &model.fns[f].def;
+        for pc in &def.par_calls {
+            // Roots: calls lexically inside the par call's argument span.
+            let mut roots: Vec<FnIdx> = Vec::new();
+            for call in &def.calls {
+                if call.tok > pc.args.0 && call.tok < pc.args.1 {
+                    for e in &cg.out[f] {
+                        if e.line == call.line && model.fns[e.to].def.name == call.name {
+                            roots.push(e.to);
+                        }
+                    }
+                }
+            }
+            roots.sort_unstable();
+            roots.dedup();
+            entries.push(Entry {
+                caller: f,
+                label: format!("par::{}", pc.entry),
+                at: format!("{}:{}", model.path_of(f), pc.line),
+                roots,
+                args: pc.args,
+            });
+        }
+    }
+
+    let mut seen: Vec<(String, u32, u32)> = Vec::new();
+    let mut emit = |model: &WorkspaceModel,
+                    out: &mut Vec<Finding>,
+                    site_fn: FnIdx,
+                    site: &crate::parser::ReductionSite,
+                    trace: Vec<String>,
+                    entry_label: &str| {
+        let file = &model.files[model.fns[site_fn].file];
+        let key = (file.rel.clone(), site.line, site.col);
+        if seen.contains(&key) {
+            return;
+        }
+        seen.push(key);
+        out.push(Finding {
+            rule: "S102",
+            path: file.rel.clone(),
+            line: site.line,
+            col: site.col,
+            message: format!(
+                "float reduction `{}` runs under the parallel entry `{}`; \
+                 keep reductions off the par boundary or allowlist the kernel \
+                 with its ordering argument",
+                site.what, entry_label
+            ),
+            snippet: line_text(&file.src, site.line),
+            trace,
+        });
+    };
+
+    for entry in &entries {
+        let def = &model.fns[entry.caller].def;
+        // Reductions written directly inside the closure argument span.
+        for site in &def.reductions {
+            if site.tok > entry.args.0
+                && site.tok < entry.args.1
+                && (site.definite || def.float_evidence)
+            {
+                let trace = vec![
+                    format!("parallel entry `{}` at {}", entry.label, entry.at),
+                    format!(
+                        "{} reduces floats via `{}` inside the closure at {}:{}",
+                        model.fq_name(entry.caller),
+                        site.what,
+                        model.path_of(entry.caller),
+                        site.line
+                    ),
+                ];
+                emit(model, out, entry.caller, site, trace, &entry.label);
+            }
+        }
+        // Reductions in functions reachable from the closure's callees.
+        for target in cg.reachable_from(&entry.roots) {
+            if !model.is_lib_fn(target) {
+                continue;
+            }
+            let tdef = &model.fns[target].def;
+            let has_floats = tdef.float_evidence;
+            for site in &tdef.reductions {
+                if !(site.definite || has_floats) {
+                    continue;
+                }
+                // Deterministic shortest chain from any root.
+                let path = entry
+                    .roots
+                    .iter()
+                    .filter_map(|&r| cg.path(r, target).map(|p| (r, p)))
+                    .min_by_key(|(r, p)| (p.len(), *r));
+                let Some((root, path)) = path else { continue };
+                let mut trace = vec![
+                    format!("parallel entry `{}` at {}", entry.label, entry.at),
+                    format!("closure calls {}", model.fq_name(root)),
+                ];
+                trace.extend(path.iter().map(|e| edge_step(model, e)));
+                trace.push(format!(
+                    "{} reduces floats via `{}` at {}:{}",
+                    model.fq_name(target),
+                    site.what,
+                    model.path_of(target),
+                    site.line
+                ));
+                emit(model, out, target, site, trace, &entry.label);
+            }
+        }
+    }
+}
+
+/// S103: mutable state (`&mut` bindings, RNG handles) captured by
+/// closures passed across the `par` boundary. Shared mutable state inside
+/// a parallel map makes results depend on thread interleaving — exactly
+/// what the deterministic map exists to prevent.
+fn s103_par_captures(model: &WorkspaceModel, out: &mut Vec<Finding>) {
+    for f in 0..model.fns.len() {
+        if !model.is_lib_fn(f) {
+            continue;
+        }
+        let def = &model.fns[f].def;
+        let file = &model.files[model.fns[f].file];
+        for pc in &def.par_calls {
+            for cap in &pc.captures {
+                let what = match cap.how {
+                    "&mut" => format!("`&mut {}`", cap.name),
+                    _ => format!("RNG handle `{}`", cap.name),
+                };
+                out.push(Finding {
+                    rule: "S103",
+                    path: file.rel.clone(),
+                    line: cap.line,
+                    col: cap.col,
+                    message: format!(
+                        "{what} is captured by a closure crossing the `par::{}` \
+                         boundary; thread interleaving would order its mutations \
+                         — move the state inside the closure or restructure",
+                        pc.entry
+                    ),
+                    snippet: line_text(&file.src, cap.line),
+                    trace: vec![
+                        format!(
+                            "parallel entry `par::{}` at {}:{}",
+                            pc.entry,
+                            file.rel,
+                            pc.line
+                        ),
+                        format!("{} captured at {}:{}", what, file.rel, cap.line),
+                    ],
+                });
+            }
+        }
+    }
+}
+
+/// S104: dead exports. A `pub` item that no bin, test, bench, example, or
+/// other crate ever names is API surface without users — demote it to
+/// `pub(crate)` (keeping it for siblings) or delete it.
+fn s104_dead_exports(model: &WorkspaceModel, out: &mut Vec<Finding>) {
+    // An export is alive if anything that exercises the public surface
+    // names it: another crate, a same-crate bin/test/bench/example file,
+    // or inline `#[cfg(test)]` code anywhere in the crate (including the
+    // defining file — the definition itself never sits in a test span).
+    let used_externally = |def_file: usize, name: &str| -> bool {
+        let def_crate = &model.files[def_file].crate_name;
+        let name = name.to_string();
+        model.files.iter().enumerate().any(|(fi, file)| {
+            let external = file.crate_name != *def_crate
+                || file.kind != crate::rules::FileKind::Lib;
+            if external && fi != def_file {
+                file.parsed.idents.binary_search(&name).is_ok()
+            } else {
+                file.parsed.test_idents.binary_search(&name).is_ok()
+            }
+        })
+    };
+
+    // A file whose pub fns are externally exercised anchors its pub
+    // types: values of those types flow out through the alive fns even
+    // when callers never write the type's name (`let r = fig1::run(…)`).
+    let mut anchored = vec![false; model.files.len()];
+    for f in 0..model.fns.len() {
+        let node = &model.fns[f];
+        if node.def.vis == Vis::Pub
+            && !node.def.in_test
+            && used_externally(node.file, &node.def.name)
+        {
+            anchored[node.file] = true;
+        }
+    }
+
+    // Non-fn pub items.
+    for (fi, item) in model.pub_items() {
+        if anchored[fi] || used_externally(fi, &item.name) {
+            continue;
+        }
+        let file = &model.files[fi];
+        out.push(Finding {
+            rule: "S104",
+            path: file.rel.clone(),
+            line: item.line,
+            col: 1,
+            message: format!(
+                "pub {} `{}` is not named by any bin, test, bench, example, or \
+                 other crate; demote to pub(crate) or remove",
+                item.kind, item.name
+            ),
+            snippet: line_text(&file.src, item.line),
+            trace: vec![format!(
+                "`{}` is exported at {}:{} but only its own crate's library \
+                 code ever names it",
+                item.name, file.rel, item.line
+            )],
+        });
+    }
+
+    // Pub fns (free functions and inherent methods).
+    for f in 0..model.fns.len() {
+        let node = &model.fns[f];
+        if node.def.vis != Vis::Pub
+            || node.def.in_test
+            || model.files[node.file].kind != crate::rules::FileKind::Lib
+            || node.def.name == "main"
+        {
+            continue;
+        }
+        if used_externally(node.file, &node.def.name) {
+            continue;
+        }
+        let file = &model.files[node.file];
+        out.push(Finding {
+            rule: "S104",
+            path: file.rel.clone(),
+            line: node.def.line,
+            col: 1,
+            message: format!(
+                "pub fn `{}` is not named by any bin, test, bench, example, or \
+                 other crate; demote to pub(crate) or remove",
+                model.fq_name(f)
+            ),
+            snippet: line_text(&file.src, node.def.line),
+            trace: vec![format!(
+                "`{}` is exported at {}:{} but only its own crate's library \
+                 code ever names it",
+                model.fq_name(f),
+                file.rel,
+                node.def.line
+            )],
+        });
+    }
+}

@@ -7,8 +7,9 @@
 //! code, and build output is noise.
 
 use crate::allowlist::Allowlist;
-use crate::report::Report;
+use crate::report::{Finding, Report};
 use crate::rules::{check_file, FileCtx, FileKind};
+use crate::symbols::WorkspaceModel;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -148,38 +149,61 @@ fn package_name(manifest: &Path) -> Option<String> {
     None
 }
 
-/// Lint the given files, partitioning findings through `allowlist`.
+/// Lint the given files with the per-file token rules only (D-series).
+/// Semantic rules need whole-workspace context; see [`run_workspace`].
 pub fn run(files: &[SourceFile], allowlist: &Allowlist) -> io::Result<Report> {
+    run_impl(files, allowlist, false)
+}
+
+/// Lint the given files with the token rules *and* the semantic S-series
+/// (call-graph rules S101–S104 plus the S105 staleness check, which
+/// promotes every unused allowlist entry to an error anchored at its
+/// `[[allow]]` line in lint.toml).
+pub fn run_workspace(files: &[SourceFile], allowlist: &Allowlist) -> io::Result<Report> {
+    run_impl(files, allowlist, true)
+}
+
+fn run_impl(files: &[SourceFile], allowlist: &Allowlist, semantic: bool) -> io::Result<Report> {
     let mut report = Report {
         files_scanned: files.len(),
         ..Report::default()
     };
     let mut used = vec![false; allowlist.entries.len()];
+    let mut sources: Vec<String> = Vec::with_capacity(files.len());
     for f in files {
-        let src = fs::read_to_string(&f.abs)?;
-        let findings = check_file(&FileCtx {
+        sources.push(fs::read_to_string(&f.abs)?);
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for (f, src) in files.iter().zip(&sources) {
+        findings.extend(check_file(&FileCtx {
             rel_path: &f.rel,
             crate_name: &f.crate_name,
             kind: f.kind,
-            src: &src,
-        });
-        for finding in findings {
-            match allowlist.matching(&finding) {
-                Some(entry) => {
-                    let idx = allowlist
-                        .entries
-                        .iter()
-                        .position(|e| std::ptr::eq(e, entry))
-                        .unwrap_or(usize::MAX);
-                    if idx != usize::MAX {
-                        used[idx] = true;
-                    }
-                    report
-                        .allowed
-                        .push((finding, entry.justification.clone()));
+            src,
+        }));
+    }
+    if semantic {
+        let model = WorkspaceModel::build(files, &sources);
+        findings.extend(crate::rules_sem::check_workspace(&model));
+    }
+
+    for finding in findings {
+        match allowlist.matching(&finding) {
+            Some(entry) => {
+                let idx = allowlist
+                    .entries
+                    .iter()
+                    .position(|e| std::ptr::eq(e, entry))
+                    .unwrap_or(usize::MAX);
+                if idx != usize::MAX {
+                    used[idx] = true;
                 }
-                None => report.violations.push(finding),
+                report
+                    .allowed
+                    .push((finding, entry.justification.clone()));
             }
+            None => report.violations.push(finding),
         }
     }
     for (i, e) in allowlist.entries.iter().enumerate() {
@@ -187,6 +211,32 @@ pub fn run(files: &[SourceFile], allowlist: &Allowlist) -> io::Result<Report> {
             report.unused_allowlist.push(e.clone());
         }
     }
+    if semantic {
+        // S105: staleness is an error, not a warning — a stale entry
+        // would silently re-arm if its pattern ever came back.
+        for e in &report.unused_allowlist {
+            report.violations.push(Finding {
+                rule: "S105",
+                path: "lint.toml".to_string(),
+                line: e.defined_at,
+                col: 1,
+                message: format!(
+                    "allowlist entry (rule={}, path={}) matched nothing this run; \
+                     remove it or run --fix-allowlist",
+                    e.rule, e.path
+                ),
+                snippet: "[[allow]]".to_string(),
+                trace: vec![format!(
+                    "entry defined at lint.toml:{} covers rule {} in {} but no such \
+                     finding exists",
+                    e.defined_at, e.rule, e.path
+                )],
+            });
+        }
+    }
+    report.violations.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
     Ok(report)
 }
 

@@ -1,0 +1,5 @@
+//! Private helper with a panic site.
+
+pub(crate) fn pick(xs: &[u64]) -> u64 {
+    xs.first().copied().expect("non-empty input")
+}

@@ -1,0 +1,7 @@
+//! S101 bad fixture: a pub entry reaches a panic site one call away.
+#![forbid(unsafe_code)]
+
+/// Exported entry point; panics on empty input via `pick`.
+pub fn entry(xs: &[u64]) -> u64 {
+    pick(xs)
+}

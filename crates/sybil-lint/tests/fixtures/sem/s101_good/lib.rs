@@ -1,0 +1,7 @@
+//! S101 good fixture: the fallible helper propagates Option instead.
+#![forbid(unsafe_code)]
+
+/// Exported entry point; `None` on empty input.
+pub fn entry(xs: &[u64]) -> Option<u64> {
+    pick(xs)
+}

@@ -1,0 +1,7 @@
+//! S102 bad fixture: a parallel map reaches a float reduction.
+#![forbid(unsafe_code)]
+
+/// Per-element scores computed in parallel.
+pub fn scores(xs: &[f64]) -> Vec<f64> {
+    par::map_slice(xs, |chunk| chunk.iter().map(|v| dot(*v)).collect())
+}

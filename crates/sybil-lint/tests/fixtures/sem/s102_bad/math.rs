@@ -1,0 +1,9 @@
+//! Serial kernel with an accumulation loop.
+
+pub(crate) fn dot(x: f64) -> f64 {
+    let mut acc = 0.0;
+    for k in 0..4 {
+        acc += x / (k as f64 + 1.0);
+    }
+    acc
+}

@@ -1,0 +1,5 @@
+//! Names the fixture's public surface so S104 stays quiet.
+
+fn _exercise() {
+    let _ = s102_bad::scores as fn(&[f64]) -> Vec<f64>;
+}

@@ -1,0 +1,17 @@
+//! S102 good fixture: the parallel kernel is reduction-free; the only
+//! float reduction runs serially, outside any `par::` entry.
+#![forbid(unsafe_code)]
+
+/// Per-element scaling computed in parallel.
+pub fn scores(xs: &[f64]) -> Vec<f64> {
+    par::map_slice(xs, |chunk| chunk.iter().map(|v| scale(*v)).collect())
+}
+
+/// Serial total over the final scores.
+pub fn total(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for v in xs {
+        acc += *v;
+    }
+    acc
+}

@@ -1,0 +1,15 @@
+//! S103 bad fixture: mutable state and an RNG handle captured by the
+//! closure crossing the `par::` boundary.
+#![forbid(unsafe_code)]
+
+/// Opaque RNG-ish handle.
+pub struct Wheel;
+
+/// Parallel jitter that leaks shared mutable state into the closure.
+pub fn jitter(xs: &[u64], rng: &mut Wheel) -> Vec<u64> {
+    let mut total = 0u64;
+    par::map_indexed(xs.len(), |i| {
+        push_stat(&mut total);
+        rng.next_step() + i as u64
+    })
+}

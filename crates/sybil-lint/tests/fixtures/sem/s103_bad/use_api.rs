@@ -1,0 +1,6 @@
+//! Names the fixture's public surface so S104 stays quiet.
+
+fn _exercise() {
+    let _w = s103_bad::Wheel;
+    let _ = s103_bad::jitter as fn(&[u64], &mut s103_bad::Wheel) -> Vec<u64>;
+}

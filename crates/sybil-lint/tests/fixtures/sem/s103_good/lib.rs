@@ -1,0 +1,12 @@
+//! S103 good fixture: all mutable state is created inside the closure,
+//! so nothing crosses the `par::` boundary.
+#![forbid(unsafe_code)]
+
+/// Parallel jitter with per-item local state only.
+pub fn jitter(xs: &[u64]) -> Vec<u64> {
+    par::map_indexed(xs.len(), |i| {
+        let mut acc = 7u64;
+        push_stat(&mut acc);
+        acc + i as u64
+    })
+}

@@ -1,0 +1,5 @@
+//! Names the fixture's public surface so S104 stays quiet.
+
+fn _exercise() {
+    let _ = s103_good::jitter as fn(&[u64]) -> Vec<u64>;
+}

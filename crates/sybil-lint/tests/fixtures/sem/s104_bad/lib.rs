@@ -1,0 +1,10 @@
+//! S104 bad fixture: exported surface that nothing exercises.
+#![forbid(unsafe_code)]
+
+/// Exported but never named outside this file.
+pub struct Orphan;
+
+/// Exported but never named by any bin, test, bench, or other crate.
+pub fn orphan_rate(x: u64) -> u64 {
+    x.wrapping_mul(2)
+}

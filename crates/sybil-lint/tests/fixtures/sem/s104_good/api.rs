@@ -1,0 +1,6 @@
+//! Exercises the fixture's exported surface.
+
+fn _probe() {
+    let _o = s104_good::Orphan;
+    let _ = s104_good::orphan_rate(3);
+}

@@ -1,0 +1,10 @@
+//! S104 good fixture: the same surface as s104_bad, but a test names it.
+#![forbid(unsafe_code)]
+
+/// Exported and exercised by `tests/api.rs`.
+pub struct Orphan;
+
+/// Exported and exercised by `tests/api.rs`.
+pub fn orphan_rate(x: u64) -> u64 {
+    x.wrapping_mul(2)
+}

@@ -223,7 +223,8 @@ justification = "stale entry that matches nothing at all"
 }
 
 // ---------------------------------------------------------------------
-// The acceptance gate: the real workspace is clean under lint.toml, and
+// The acceptance gate: the real workspace is clean under lint.toml —
+// token rules AND the semantic S-series, including S105 staleness — and
 // the fixtures directory is never swept into a workspace scan.
 
 #[test]
@@ -236,7 +237,7 @@ fn real_workspace_is_clean() {
         &std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml exists"),
     )
     .expect("lint.toml parses");
-    let rep = run(&files, &allow).unwrap();
+    let rep = sybil_lint::workspace::run_workspace(&files, &allow).unwrap();
     assert!(
         rep.is_clean(),
         "workspace must lint clean:\n{}",

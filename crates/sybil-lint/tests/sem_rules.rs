@@ -1,0 +1,308 @@
+//! S-series fixture tests: every semantic rule is exercised against a
+//! good and a bad multi-file fixture crate, asserting the exact call
+//! chains the findings carry — in the raw findings, the human rendering,
+//! and the JSON rendering. Also covers S105 staleness and the
+//! `--fix-allowlist` rewrite at the library level.
+
+use std::path::{Path, PathBuf};
+use sybil_lint::allowlist;
+use sybil_lint::report::{render_human, render_json, Finding};
+use sybil_lint::rules_sem::check_workspace;
+use sybil_lint::workspace::{classify, run_workspace, SourceFile};
+use sybil_lint::WorkspaceModel;
+
+fn sem_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/sem")
+}
+
+/// Source files of one fixture crate: `(fixture file, workspace-relative
+/// suffix)` pairs mapped into a synthetic `crates/<name>/…` layout.
+fn sem_files(name: &str, layout: &[(&str, &str)]) -> Vec<SourceFile> {
+    layout
+        .iter()
+        .map(|(disk, rel_suffix)| {
+            let rel = format!("crates/{name}/{rel_suffix}");
+            SourceFile {
+                abs: sem_dir().join(name).join(disk),
+                rel: rel.clone(),
+                crate_name: name.to_string(),
+                kind: classify(&rel),
+            }
+        })
+        .collect()
+}
+
+/// Build the workspace model for a fixture crate and run S101–S104.
+fn sem_findings(name: &str, layout: &[(&str, &str)]) -> Vec<Finding> {
+    let files = sem_files(name, layout);
+    let sources: Vec<String> = files
+        .iter()
+        .map(|f| std::fs::read_to_string(&f.abs).expect("fixture exists"))
+        .collect();
+    check_workspace(&WorkspaceModel::build(&files, &sources))
+}
+
+const TWO_FILE: &[(&str, &str)] = &[
+    ("lib.rs", "src/lib.rs"),
+    ("deep.rs", "src/deep.rs"),
+    ("use_api.rs", "tests/use_api.rs"),
+];
+
+const KERNEL: &[(&str, &str)] = &[
+    ("lib.rs", "src/lib.rs"),
+    ("math.rs", "src/math.rs"),
+    ("use_api.rs", "tests/use_api.rs"),
+];
+
+const ONE_FILE: &[(&str, &str)] =
+    &[("lib.rs", "src/lib.rs"), ("use_api.rs", "tests/use_api.rs")];
+
+// ---------------------------------------------------------------------
+// S101: panic reachability with the exact pub→panic call chain.
+
+#[test]
+fn s101_bad_reports_chain_from_pub_entry() {
+    let f = sem_findings("s101_bad", TWO_FILE);
+    assert_eq!(f.len(), 1, "{f:#?}");
+    let v = &f[0];
+    assert_eq!(v.rule, "S101");
+    assert_eq!(v.path, "crates/s101_bad/src/deep.rs");
+    assert_eq!(v.line, 4);
+    assert_eq!(
+        v.message,
+        "`.expect()` is reachable from pub `s101_bad::entry` (1 call away); \
+         propagate Result/Option or allowlist with the guarding invariant"
+    );
+    assert_eq!(
+        v.trace,
+        vec![
+            "s101_bad::entry calls s101_bad::deep::pick at crates/s101_bad/src/lib.rs:6"
+                .to_string(),
+            "s101_bad::deep::pick panics via `.expect()` at crates/s101_bad/src/deep.rs:4"
+                .to_string(),
+        ],
+        "{v:#?}"
+    );
+}
+
+#[test]
+fn s101_good_is_clean() {
+    let f = sem_findings("s101_good", TWO_FILE);
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+// ---------------------------------------------------------------------
+// S102: float reductions reachable from a par:: closure.
+
+#[test]
+fn s102_bad_reports_kernel_behind_par_entry() {
+    let f = sem_findings("s102_bad", KERNEL);
+    assert_eq!(f.len(), 1, "{f:#?}");
+    let v = &f[0];
+    assert_eq!(v.rule, "S102");
+    assert_eq!(v.path, "crates/s102_bad/src/math.rs");
+    assert_eq!(v.line, 6);
+    assert_eq!(
+        v.message,
+        "float reduction `+=` runs under the parallel entry `par::map_slice`; \
+         keep reductions off the par boundary or allowlist the kernel with \
+         its ordering argument"
+    );
+    assert_eq!(
+        v.trace,
+        vec![
+            "parallel entry `par::map_slice` at crates/s102_bad/src/lib.rs:6".to_string(),
+            "closure calls s102_bad::math::dot".to_string(),
+            "s102_bad::math::dot reduces floats via `+=` at crates/s102_bad/src/math.rs:6"
+                .to_string(),
+        ],
+        "{v:#?}"
+    );
+}
+
+#[test]
+fn s102_good_serial_reduction_is_clean() {
+    // `total` reduces floats, but no par:: entry reaches it.
+    let f = sem_findings("s102_good", KERNEL);
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+// ---------------------------------------------------------------------
+// S103: captures crossing the par boundary.
+
+#[test]
+fn s103_bad_reports_mut_and_rng_captures() {
+    let f = sem_findings("s103_bad", ONE_FILE);
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(f.iter().all(|v| v.rule == "S103"));
+    assert!(f.iter().all(|v| v.path == "crates/s103_bad/src/lib.rs"));
+    assert_eq!((f[0].line, f[1].line), (12, 13), "{f:#?}");
+    assert!(
+        f[0].message.starts_with(
+            "`&mut total` is captured by a closure crossing the `par::map_indexed` boundary"
+        ),
+        "{}",
+        f[0].message
+    );
+    assert!(
+        f[1].message.starts_with(
+            "RNG handle `rng` is captured by a closure crossing the `par::map_indexed` boundary"
+        ),
+        "{}",
+        f[1].message
+    );
+    assert_eq!(
+        f[0].trace,
+        vec![
+            "parallel entry `par::map_indexed` at crates/s103_bad/src/lib.rs:11".to_string(),
+            "`&mut total` captured at crates/s103_bad/src/lib.rs:12".to_string(),
+        ],
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn s103_good_closure_locals_are_clean() {
+    // `&mut acc` targets a closure-local binding — not a capture.
+    let f = sem_findings("s103_good", ONE_FILE);
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+// ---------------------------------------------------------------------
+// S104: dead exports, and usage from a test file reviving them.
+
+#[test]
+fn s104_bad_reports_dead_struct_and_fn() {
+    let f = sem_findings("s104_bad", &[("lib.rs", "src/lib.rs")]);
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(f.iter().all(|v| v.rule == "S104"));
+    assert_eq!((f[0].line, f[1].line), (5, 8), "{f:#?}");
+    assert!(
+        f[0].message.starts_with("pub struct `Orphan` is not named by any bin, test"),
+        "{}",
+        f[0].message
+    );
+    assert!(
+        f[1].message
+            .starts_with("pub fn `s104_bad::orphan_rate` is not named by any bin, test"),
+        "{}",
+        f[1].message
+    );
+    assert_eq!(
+        f[1].trace,
+        vec![
+            "`s104_bad::orphan_rate` is exported at crates/s104_bad/src/lib.rs:8 but \
+             only its own crate's library code ever names it"
+                .to_string()
+        ],
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn s104_good_test_usage_keeps_exports_alive() {
+    let f = sem_findings(
+        "s104_good",
+        &[("lib.rs", "src/lib.rs"), ("api.rs", "tests/api.rs")],
+    );
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+// ---------------------------------------------------------------------
+// Rule registry: the S-codes are first-class for allowlist validation.
+
+#[test]
+fn s_codes_are_known_rules() {
+    for code in ["S101", "S102", "S103", "S104", "S105", "D001", "D006"] {
+        assert!(sybil_lint::rules::is_known_rule(code), "{code}");
+    }
+    assert!(!sybil_lint::rules::is_known_rule("S999"));
+    assert!(!sybil_lint::rules::is_known_rule("D999"));
+}
+
+// ---------------------------------------------------------------------
+// Call chains survive both renderings verbatim.
+
+#[test]
+fn chains_render_in_human_and_json_output() {
+    let files = sem_files("s101_bad", TWO_FILE);
+    let rep = run_workspace(&files, &allowlist::Allowlist::default()).unwrap();
+    let human = render_human(&rep);
+    assert!(human.contains("error[S101]"), "{human}");
+    assert!(human.contains("--> crates/s101_bad/src/deep.rs:4:"), "{human}");
+    assert!(
+        human.contains(
+            "   = note: s101_bad::entry calls s101_bad::deep::pick at \
+             crates/s101_bad/src/lib.rs:6"
+        ),
+        "{human}"
+    );
+    assert!(
+        human.contains(
+            "   = note: s101_bad::deep::pick panics via `.expect()` at \
+             crates/s101_bad/src/deep.rs:4"
+        ),
+        "{human}"
+    );
+    let json = render_json(&rep);
+    assert!(json.contains("\"rule\": \"S101\""), "{json}");
+    assert!(
+        json.contains(
+            "\"trace\": [\"s101_bad::entry calls s101_bad::deep::pick at \
+             crates/s101_bad/src/lib.rs:6\", \"s101_bad::deep::pick panics via \
+             `.expect()` at crates/s101_bad/src/deep.rs:4\"]"
+        ),
+        "{json}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// S105 staleness and the --fix-allowlist rewrite, end to end.
+
+#[test]
+fn s105_flags_stale_entries_and_fix_allowlist_removes_them() {
+    let toml = "\
+# reviewed: empty input is rejected at the CLI boundary
+[[allow]]
+rule = \"S101\"
+path = \"crates/s101_bad/src/deep.rs\"
+justification = \"callers validate non-empty input at the boundary\"
+
+# this one matches nothing and must be flagged at its [[allow]] line
+[[allow]]
+rule = \"S102\"
+path = \"crates/s101_bad/src/never.rs\"
+justification = \"stale entry kept around to test staleness\"
+";
+    let allow = allowlist::parse(toml).unwrap();
+    let files = sem_files("s101_bad", TWO_FILE);
+    let rep = run_workspace(&files, &allow).unwrap();
+
+    // The matching entry absorbed the S101 finding.
+    assert!(rep.violations.iter().all(|v| v.rule != "S101"), "{rep:#?}");
+    assert!(rep.allowed.iter().any(|(v, _)| v.rule == "S101"));
+
+    // The stale entry surfaced as an S105 error anchored in lint.toml.
+    let s105: Vec<&Finding> = rep.violations.iter().filter(|v| v.rule == "S105").collect();
+    assert_eq!(s105.len(), 1, "{rep:#?}");
+    assert_eq!(s105[0].path, "lint.toml");
+    assert_eq!(s105[0].line, 8, "anchored at the stale [[allow]] header");
+    assert!(
+        s105[0].message.contains("matched nothing this run"),
+        "{}",
+        s105[0].message
+    );
+
+    // remove_stale drops the stale block (and its comment); the surviving
+    // entry still parses and still matches.
+    let rewritten = allowlist::remove_stale(toml, &rep.unused_allowlist);
+    assert!(!rewritten.contains("never.rs"), "{rewritten}");
+    assert!(rewritten.contains("deep.rs"), "{rewritten}");
+    let reparsed = allowlist::parse(&rewritten).unwrap();
+    assert_eq!(reparsed.entries.len(), 1);
+    let rep2 = run_workspace(&files, &reparsed).unwrap();
+    assert!(rep2.violations.iter().all(|v| v.rule != "S105"), "{rep2:#?}");
+
+    // Round trip: with nothing stale, the rewrite is byte-identical.
+    assert_eq!(allowlist::remove_stale(&rewritten, &rep2.unused_allowlist), rewritten);
+}

@@ -32,7 +32,7 @@ impl Histogram {
     }
 
     /// Add one sample.
-    pub fn add(&mut self, x: f64) {
+    pub(crate) fn add(&mut self, x: f64) {
         if x < self.lo {
             self.underflow += 1;
             return;

@@ -29,7 +29,7 @@ impl Summary {
     }
 
     /// Add one sample.
-    pub fn add(&mut self, x: f64) {
+    pub(crate) fn add(&mut self, x: f64) {
         self.count += 1;
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 gate from ROADMAP.md plus a zero-warning
-# clippy pass. Run from the workspace root: ./scripts/verify.sh
+# clippy pass, the sybil-lint semantic audit, the thread-count
+# bit-identity smoke test (the sanitizer stand-in — see DESIGN.md), and
+# the parallel-substrate bench-regression guard.
+# Run from the workspace root: ./scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+root="$(pwd)"
 
 echo "== tier-1: cargo build --release =="
 cargo build --release
@@ -13,7 +17,30 @@ cargo test -q
 echo "== lint: cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== lint: sybil-lint determinism & invariant audit =="
+echo "== lint: sybil-lint determinism & invariant audit (D + S series) =="
 cargo run -q -p sybil-lint -- --workspace
+
+echo "== sanitizer stand-in: RENREN_THREADS=1 vs 8 bit-identity =="
+# Miri cannot execute the scoped-thread par:: layer, so race detection
+# leans on end-to-end thread-count invariance instead.
+cargo run -q --release -p sybil-bench --bin thread_identity
+
+echo "== bench-regression guard: perf_snapshot =="
+# Run in a temp dir so BENCH_parallel.json never dirties the checkout;
+# re-check the acceptance floor from the JSON the bench emits.
+bench_tmp="$(mktemp -d)"
+trap 'rm -rf "$bench_tmp"' EXIT
+(cd "$bench_tmp" && cargo run -q --release -p sybil-bench --bin perf_snapshot \
+    --manifest-path "$root/Cargo.toml" >/dev/null)
+python3 - "$bench_tmp/BENCH_parallel.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+cc = report["clustering_sweep"]["speedup_vs_serial"]
+feat = report["feature_extraction"]["speedup_vs_serial"]
+ok = report["bit_identical"] and cc >= 2.0 and feat >= 2.0
+print(f"bench guard: clustering {cc:.2f}x, features {feat:.2f}x, "
+      f"bit_identical={report['bit_identical']}")
+sys.exit(0 if ok else 1)
+PY
 
 echo "verify: OK"
