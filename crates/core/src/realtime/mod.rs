@@ -8,15 +8,24 @@
 //! verification team; confirmed labels feed the adaptive thresholds.
 //!
 //! Here the "event stream" is a replay of a simulation's request log
-//! (sends and decisions merged in time order) and the "verification team"
-//! is the simulation's ground truth, delivered with a delay.
+//! (sends and decisions merged in time order by
+//! [`osn_sim::stream::EventStream`]) and the "verification team" is the
+//! simulation's ground truth, delivered with a delay.
+//!
+//! The per-account transitions live in [`state`], shared with the sharded
+//! `sybil-serve` engine; this module's [`replay`] is the sequential
+//! reference that engine must reproduce byte for byte.
+
+pub mod state;
 
 use crate::adaptive::AdaptiveThresholds;
 use crate::threshold::ThresholdClassifier;
 use crate::Classifier;
 use osn_graph::{NodeId, Timestamp};
+use osn_sim::stream::{EventStream, StreamEvent, StreamEventKind};
 use osn_sim::SimOutput;
 use serde::{Deserialize, Serialize};
+use state::AccountState;
 use std::collections::{HashSet, VecDeque};
 use sybil_features::FeatureVector;
 
@@ -27,6 +36,9 @@ pub struct RealtimeConfig {
     /// requests.
     pub warmup_requests: usize,
     /// Evaluate every `check_every`-th sent request (controls CPU).
+    /// A value of 0 would make every `is_multiple_of` gate false and
+    /// silently disable the detector, so engines run on
+    /// [`sanitized`](Self::sanitized) copies that clamp it to 1.
     pub check_every: usize,
     /// Trailing window (hours) for the frequency feature.
     pub trailing_window_h: u64,
@@ -41,7 +53,8 @@ pub struct RealtimeConfig {
     /// Hours between detection and the verification team's confirmation.
     pub feedback_delay_h: u64,
     /// Every this many processed sends, one active account is audited at
-    /// random, giving the adaptive trackers normal-side feedback.
+    /// random, giving the adaptive trackers normal-side feedback. Clamped
+    /// to 1 when 0, like `check_every`.
     pub audit_every: usize,
 }
 
@@ -58,6 +71,33 @@ impl Default for RealtimeConfig {
             feedback_delay_h: 48,
             audit_every: 200,
         }
+    }
+}
+
+impl RealtimeConfig {
+    /// Copy with degenerate cadence values clamped to their nearest
+    /// working value: `check_every == 0` and `audit_every == 0` become 1
+    /// ("evaluate at every opportunity"), because `n.is_multiple_of(0)` is
+    /// false for every positive `n` and would silently disable the
+    /// detector. Every engine entry point runs on a sanitized copy.
+    pub fn sanitized(&self) -> Self {
+        let mut c = *self;
+        c.check_every = c.check_every.max(1);
+        c.audit_every = c.audit_every.max(1);
+        c
+    }
+
+    /// Strict validation for configs coming from the outside (CLI, files):
+    /// rejects the zero cadences that [`sanitized`](Self::sanitized) would
+    /// clamp, so callers can surface the mistake instead of guessing.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.check_every == 0 {
+            return Err("check_every must be ≥ 1 (0 disables every evaluation)".into());
+        }
+        if self.audit_every == 0 {
+            return Err("audit_every must be ≥ 1 (0 disables every audit)".into());
+        }
+        Ok(())
     }
 }
 
@@ -91,258 +131,187 @@ pub struct DeploymentReport {
 }
 
 impl DeploymentReport {
-    /// Catch rate among eligible Sybils.
+    /// Catch rate among eligible Sybils. [`f64::NAN`] when no Sybil ever
+    /// became eligible (zero true positives *and* zero missed): an empty
+    /// denominator is "nothing to catch", which is not the same claim as
+    /// "caught nothing". Callers printing this should render the NaN case
+    /// distinctly (see the `repro` deployment table).
     pub fn catch_rate(&self) -> f64 {
         let total = self.true_positives + self.missed;
         if total == 0 {
-            0.0
+            f64::NAN
         } else {
             self.true_positives as f64 / total as f64
         }
     }
 }
 
-#[derive(Default)]
-struct AccountState {
-    sent: u32,
-    accepted: u32,
-    rejected: u32,
-    recent_sends: VecDeque<u64>, // seconds
-    peak_1h: u32,                // historical max sends in any trailing window
-    friends: Vec<NodeId>,        // first ≤ 50
-    detected: bool,
-}
-
 /// Replay a simulation's request log through the streaming detector.
 pub fn replay(out: &SimOutput, cfg: &RealtimeConfig) -> DeploymentReport {
+    let cfg = cfg.sanitized();
     let n = out.accounts.len();
-    let mut states: Vec<AccountState> = (0..n).map(|_| AccountState::default()).collect();
-    let mut edges: HashSet<u64> = HashSet::new();
-    let pack = |a: NodeId, b: NodeId| -> u64 {
-        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
-        ((lo as u64) << 32) | hi as u64
+    let mut eng = Replayer {
+        out,
+        cfg,
+        states: (0..n).map(|_| AccountState::default()).collect(),
+        edges: HashSet::new(),
+        adaptive: AdaptiveThresholds::from_rule(&cfg.rule, 0.02),
+        feedback_queue: VecDeque::new(),
+        report: DeploymentReport {
+            final_rule: cfg.rule,
+            ..Default::default()
+        },
+        processed_sends: 0,
+        audit_cursor: 1,
     };
-
-    // Merge sends and decisions into one chronological stream.
-    #[derive(Clone, Copy)]
-    enum Ev {
-        Send(u32),
-        Decide(u32),
+    for ev in EventStream::new(&out.log) {
+        eng.on_event(ev);
     }
-    let mut events: Vec<(Timestamp, u8, Ev)> = Vec::with_capacity(out.log.len() * 2);
-    for (i, r) in out.log.records().iter().enumerate() {
-        events.push((r.sent_at, 0, Ev::Send(i as u32)));
-        if let Some(t) = r.outcome.decided_at() {
-            events.push((t, 1, Ev::Decide(i as u32)));
-        }
-    }
-    events.sort_by_key(|&(t, k, _)| (t, k));
+    eng.finish()
+}
 
-    let mut adaptive = AdaptiveThresholds::from_rule(&cfg.rule, 0.02);
-    // Pending verification feedback: (due time, features, truth).
-    let mut feedback_queue: VecDeque<(Timestamp, FeatureVector, bool)> = VecDeque::new();
-    let mut report = DeploymentReport {
-        final_rule: cfg.rule,
-        ..Default::default()
-    };
-    let mut processed_sends: usize = 0;
-    // Deterministic pseudo-random audit pointer.
-    let mut audit_cursor: usize = 1;
+/// The sequential engine: one loop owning every account's state.
+struct Replayer<'a> {
+    out: &'a SimOutput,
+    cfg: RealtimeConfig,
+    states: Vec<AccountState>,
+    /// Accepted friendships seen so far, as packed undirected keys.
+    edges: HashSet<u64>,
+    adaptive: AdaptiveThresholds,
+    /// Pending verification feedback: (due time, features, truth).
+    feedback_queue: VecDeque<(Timestamp, FeatureVector, bool)>,
+    report: DeploymentReport,
+    processed_sends: usize,
+    /// Deterministic pseudo-random audit pointer.
+    audit_cursor: usize,
+}
 
-    let window_s = cfg.trailing_window_h * 3600;
-    for (t, _, ev) in events {
+impl Replayer<'_> {
+    fn on_event(&mut self, ev: StreamEvent) {
+        let t = ev.at;
         // Deliver due verification feedback.
-        while let Some(&(due, f, truth)) = feedback_queue.front() {
+        while let Some(&(due, f, truth)) = self.feedback_queue.front() {
             if due <= t {
-                adaptive.feedback(&f, truth);
-                feedback_queue.pop_front();
+                self.adaptive.feedback(&f, truth);
+                self.feedback_queue.pop_front();
             } else {
                 break;
             }
         }
-        match ev {
-            Ev::Send(i) => {
-                let r = out.log.get(i as usize);
-                processed_sends += 1;
-                let st = &mut states[r.from.index()];
-                if st.detected {
-                    continue;
-                }
-                st.sent += 1;
-                st.recent_sends.push_back(r.sent_at.as_secs());
-                let cutoff = r.sent_at.as_secs().saturating_sub(window_s);
-                while st.recent_sends.front().is_some_and(|&s| s <= cutoff) {
-                    st.recent_sends.pop_front();
-                }
-                st.peak_1h = st.peak_1h.max(st.recent_sends.len() as u32);
-                let should_check = st.sent as usize >= cfg.warmup_requests
-                    && (st.sent as usize).is_multiple_of(cfg.check_every);
-                if should_check {
-                    let features = current_features(&states[r.from.index()], &edges, cfg);
-                    if let Some(f) = features {
-                        let rule = if cfg.adaptive {
-                            adaptive.current_rule()
-                        } else {
-                            cfg.rule
-                        };
-                        if rule.is_sybil(&f) {
-                            let truth = out.is_sybil(r.from);
-                            states[r.from.index()].detected = true;
-                            report.detections.push(Detection {
-                                account: r.from,
-                                at: t,
-                                correct: truth,
-                            });
-                            if truth {
-                                report.true_positives += 1;
-                                report.mean_latency_h +=
-                                    t.as_hours() - out.accounts[r.from.index()].created_at.as_hours();
-                            } else {
-                                report.false_positives += 1;
-                            }
-                            if cfg.adaptive {
-                                feedback_queue.push_back((
-                                    t.plus_secs(cfg.feedback_delay_h * 3600),
-                                    f,
-                                    truth,
-                                ));
-                            }
-                        }
-                    }
-                }
-                // Periodic audit: the verification team reviews a random
-                // active account, giving normal-side (or extra sybil-side)
-                // signal.
-                if cfg.adaptive && processed_sends.is_multiple_of(cfg.audit_every) {
-                    audit_cursor = (audit_cursor.wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407))
-                        % out.log.len().max(1);
-                    let sample = out.log.get(audit_cursor);
-                    if let Some(f) = current_features(&states[sample.from.index()], &edges, cfg) {
-                        feedback_queue.push_back((
-                            t.plus_secs(cfg.feedback_delay_h * 3600),
-                            f,
-                            out.is_sybil(sample.from),
-                        ));
-                    }
-                }
-            }
-            Ev::Decide(i) => {
-                let r = out.log.get(i as usize);
-                if r.outcome.is_accepted() {
-                    edges.insert(pack(r.from, r.to));
-                    let sf = &mut states[r.from.index()];
-                    sf.accepted += 1;
-                    if sf.friends.len() < 50 {
-                        sf.friends.push(r.to);
-                    }
-                    let stt = &mut states[r.to.index()];
-                    if stt.friends.len() < 50 {
-                        stt.friends.push(r.from);
-                    }
-                } else {
-                    states[r.from.index()].rejected += 1;
-                }
-                // Decisions also update the sender's features (ratio and
-                // clustering mature long after the last send), so the
-                // detector re-evaluates here too.
-                let st = &states[r.from.index()];
-                if !st.detected
-                    && st.sent as usize >= cfg.warmup_requests
-                    && ((st.accepted + st.rejected) as usize).is_multiple_of(cfg.check_every)
-                {
-                    if let Some(f) = current_features(st, &edges, cfg) {
-                        let rule = if cfg.adaptive {
-                            adaptive.current_rule()
-                        } else {
-                            cfg.rule
-                        };
-                        if rule.is_sybil(&f) {
-                            let truth = out.is_sybil(r.from);
-                            states[r.from.index()].detected = true;
-                            report.detections.push(Detection {
-                                account: r.from,
-                                at: t,
-                                correct: truth,
-                            });
-                            if truth {
-                                report.true_positives += 1;
-                                report.mean_latency_h += t.as_hours()
-                                    - out.accounts[r.from.index()].created_at.as_hours();
-                            } else {
-                                report.false_positives += 1;
-                            }
-                            if cfg.adaptive {
-                                feedback_queue.push_back((
-                                    t.plus_secs(cfg.feedback_delay_h * 3600),
-                                    f,
-                                    truth,
-                                ));
-                            }
-                        }
-                    }
-                }
-            }
+        match ev.kind {
+            StreamEventKind::Sent(i) => self.on_send(i as usize, t),
+            StreamEventKind::Decided(i) => self.on_decide(i as usize, t),
         }
     }
-    // Count missed sybils.
-    for (i, a) in out.accounts.iter().enumerate() {
-        if a.is_sybil()
-            && states[i].sent as usize >= cfg.warmup_requests
-            && !states[i].detected
-        {
-            report.missed += 1;
-        }
-    }
-    if report.true_positives > 0 {
-        report.mean_latency_h /= report.true_positives as f64;
-    }
-    report.final_rule = if cfg.adaptive {
-        adaptive.current_rule()
-    } else {
-        cfg.rule
-    };
-    report.detections.sort_by_key(|d| d.at);
-    report
-}
 
-/// Features computable from the stream so far; `None` when the ratio
-/// condition lacks data (the detector stays conservative rather than
-/// flagging accounts it barely knows).
-fn current_features(
-    st: &AccountState,
-    edges: &HashSet<u64>,
-    cfg: &RealtimeConfig,
-) -> Option<FeatureVector> {
-    let decided = st.accepted + st.rejected;
-    if (decided as usize) < cfg.min_decided || st.friends.len() < cfg.min_friends {
-        return None;
-    }
-    let pack = |a: NodeId, b: NodeId| -> u64 {
-        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
-        ((lo as u64) << 32) | hi as u64
-    };
-    let k = st.friends.len();
-    let mut links = 0usize;
-    for i in 0..k {
-        for j in (i + 1)..k {
-            if edges.contains(&pack(st.friends[i], st.friends[j])) {
-                links += 1;
+    fn on_send(&mut self, i: usize, t: Timestamp) {
+        let r = self.out.log.get(i);
+        self.processed_sends += 1;
+        let window_s = self.cfg.trailing_window_h * 3600;
+        let st = &mut self.states[r.from.index()];
+        if !st.detected {
+            st.on_send(r.sent_at, window_s);
+            if st.should_check_on_send(&self.cfg) {
+                self.check(r.from, t);
+            }
+        }
+        // Periodic audit: the verification team reviews a random active
+        // account, giving normal-side (or extra sybil-side) signal. The
+        // cadence is global — counted over *all* processed sends, not tied
+        // to the triggering sender's detected status — so any replica that
+        // sees the whole stream can step the cursor identically.
+        if self.cfg.adaptive && self.processed_sends.is_multiple_of(self.cfg.audit_every) {
+            self.audit_cursor = state::advance_audit_cursor(self.audit_cursor, self.out.log.len());
+            let sample = self.out.log.get(self.audit_cursor);
+            if let Some(f) = self.features_of(sample.from) {
+                self.feedback_queue.push_back((
+                    t.plus_secs(self.cfg.feedback_delay_h * 3600),
+                    f,
+                    self.out.is_sybil(sample.from),
+                ));
             }
         }
     }
-    let cc = if k < 2 {
-        0.0
-    } else {
-        links as f64 / (k * (k - 1) / 2) as f64
-    };
-    Some(FeatureVector {
-        inv_freq_1h: st.peak_1h as f64,
-        inv_freq_400h: st.sent as f64, // long-scale proxy: total so far
-        outgoing_accept_ratio: st.accepted as f64 / decided as f64,
-        incoming_accept_ratio: 1.0, // not used by the outgoing-side rule
-        clustering_coefficient: cc,
-    })
+
+    fn on_decide(&mut self, i: usize, t: Timestamp) {
+        let r = self.out.log.get(i);
+        if r.outcome.is_accepted() {
+            self.edges.insert(state::pack_edge(r.from, r.to));
+            self.states[r.from.index()].on_accept_out(r.to);
+            self.states[r.to.index()].on_accept_in(r.from);
+        } else {
+            self.states[r.from.index()].on_reject_out();
+        }
+        // Decisions also update the sender's features (ratio and
+        // clustering mature long after the last send), so the detector
+        // re-evaluates here too.
+        let st = &self.states[r.from.index()];
+        if !st.detected && st.should_check_on_decide(&self.cfg) {
+            self.check(r.from, t);
+        }
+    }
+
+    fn features_of(&self, who: NodeId) -> Option<FeatureVector> {
+        state::features_with(&self.states[who.index()], &self.cfg, |friends| {
+            state::links_via_edges(friends, &self.edges)
+        })
+    }
+
+    fn check(&mut self, who: NodeId, t: Timestamp) {
+        let Some(f) = self.features_of(who) else {
+            return;
+        };
+        let rule = if self.cfg.adaptive {
+            self.adaptive.current_rule()
+        } else {
+            self.cfg.rule
+        };
+        if rule.is_sybil(&f) {
+            let truth = self.out.is_sybil(who);
+            self.states[who.index()].detected = true;
+            self.report.detections.push(Detection {
+                account: who,
+                at: t,
+                correct: truth,
+            });
+            if truth {
+                self.report.true_positives += 1;
+                self.report.mean_latency_h +=
+                    t.as_hours() - self.out.accounts[who.index()].created_at.as_hours();
+            } else {
+                self.report.false_positives += 1;
+            }
+            if self.cfg.adaptive {
+                self.feedback_queue.push_back((
+                    t.plus_secs(self.cfg.feedback_delay_h * 3600),
+                    f,
+                    truth,
+                ));
+            }
+        }
+    }
+
+    fn finish(mut self) -> DeploymentReport {
+        // Count missed sybils.
+        for (i, a) in self.out.accounts.iter().enumerate() {
+            if a.is_sybil()
+                && self.states[i].sent as usize >= self.cfg.warmup_requests
+                && !self.states[i].detected
+            {
+                self.report.missed += 1;
+            }
+        }
+        if self.report.true_positives > 0 {
+            self.report.mean_latency_h /= self.report.true_positives as f64;
+        }
+        self.report.final_rule = if self.cfg.adaptive {
+            self.adaptive.current_rule()
+        } else {
+            self.cfg.rule
+        };
+        self.report.detections.sort_by_key(|d| d.at);
+        self.report
+    }
 }
 
 #[cfg(test)]
@@ -431,6 +400,72 @@ mod tests {
         let fp = report.detections.iter().filter(|d| !d.correct).count();
         assert_eq!(tp, report.true_positives);
         assert_eq!(fp, report.false_positives);
+    }
+
+    /// The `check_every: 0` footgun: `is_multiple_of(0)` is false for all
+    /// positive counts, so an unsanitized 0 silently disabled every
+    /// evaluation. The sanitized engine must treat 0 exactly as 1.
+    #[test]
+    fn check_every_zero_is_clamped_not_silently_disabled() {
+        let out = simulate(SimConfig::tiny(25));
+        let zero = RealtimeConfig {
+            rule: rule_for_sim(),
+            check_every: 0,
+            audit_every: 0,
+            ..RealtimeConfig::default()
+        };
+        let one = RealtimeConfig {
+            check_every: 1,
+            audit_every: 1,
+            ..zero
+        };
+        let r_zero = replay(&out, &zero);
+        let r_one = replay(&out, &one);
+        assert!(
+            !r_zero.detections.is_empty(),
+            "check_every=0 must not disable the detector"
+        );
+        assert_eq!(
+            serde_json::to_string(&r_zero).unwrap(),
+            serde_json::to_string(&r_one).unwrap(),
+            "clamped 0 must behave exactly like 1"
+        );
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_cadences() {
+        assert!(RealtimeConfig::default().validate().is_ok());
+        let c = RealtimeConfig {
+            check_every: 0,
+            ..RealtimeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = RealtimeConfig {
+            audit_every: 0,
+            ..RealtimeConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let s = c.sanitized();
+        assert_eq!(s.audit_every, 1);
+        assert!(s.validate().is_ok());
+    }
+
+    /// No eligible Sybils is "nothing to catch", not "caught nothing".
+    #[test]
+    fn catch_rate_is_nan_when_no_sybil_was_eligible() {
+        let empty = DeploymentReport::default();
+        assert!(empty.catch_rate().is_nan());
+        let some = DeploymentReport {
+            true_positives: 3,
+            missed: 1,
+            ..DeploymentReport::default()
+        };
+        assert_eq!(some.catch_rate(), 0.75);
+        let all_missed = DeploymentReport {
+            missed: 4,
+            ..DeploymentReport::default()
+        };
+        assert_eq!(all_missed.catch_rate(), 0.0);
     }
 }
 

@@ -1,0 +1,222 @@
+//! The per-account streaming state machine, shared by the sequential
+//! [`replay`](super::replay) and the sharded `sybil-serve` engine.
+//!
+//! Both engines must apply *identical* transitions for their reports to be
+//! byte-identical, so every transition and every gating predicate lives
+//! here exactly once. The engines differ only in who applies them (one
+//! loop vs. the shard owning the account) and in how clustering links are
+//! counted (hash-set pair probes vs. CSR snapshot kernels) — which is why
+//! [`features_with`] takes the link counter as a closure.
+
+use crate::realtime::RealtimeConfig;
+use osn_graph::{NodeId, Timestamp};
+use std::collections::{HashSet, VecDeque};
+use sybil_features::FeatureVector;
+
+/// The detector tracks at most this many friends per account (the paper's
+/// deployed system capped per-account neighbor state the same way).
+pub const MAX_TRACKED_FRIENDS: usize = 50;
+
+/// Running per-account state derived from the event stream so far.
+#[derive(Clone, Debug, Default)]
+pub struct AccountState {
+    /// Requests sent (frozen once the account is detected).
+    pub sent: u32,
+    /// Outgoing requests accepted.
+    pub accepted: u32,
+    /// Outgoing requests rejected.
+    pub rejected: u32,
+    /// Send times (seconds) inside the trailing window.
+    pub recent_sends: VecDeque<u64>,
+    /// Historical max sends in any trailing window.
+    pub peak_1h: u32,
+    /// First ≤ [`MAX_TRACKED_FRIENDS`] friends, in acquisition order.
+    pub friends: Vec<NodeId>,
+    /// True once `friends` holds a repeated id (two accepted requests
+    /// between the same pair). Link counting must then fall back to exact
+    /// pair probes: the marked-set kernel assumes distinct ids.
+    pub friends_dup: bool,
+    /// The rule fired; the account is out of the stream.
+    pub detected: bool,
+}
+
+impl AccountState {
+    /// Apply a send at `at`, maintaining the trailing-window peak.
+    pub fn on_send(&mut self, at: Timestamp, window_s: u64) {
+        self.sent += 1;
+        self.recent_sends.push_back(at.as_secs());
+        let cutoff = at.as_secs().saturating_sub(window_s);
+        while self.recent_sends.front().is_some_and(|&s| s <= cutoff) {
+            self.recent_sends.pop_front();
+        }
+        self.peak_1h = self.peak_1h.max(self.recent_sends.len() as u32);
+    }
+
+    /// An outgoing request was accepted: `to` becomes a friend.
+    pub fn on_accept_out(&mut self, to: NodeId) {
+        self.accepted += 1;
+        self.push_friend(to);
+    }
+
+    /// An outgoing request was rejected.
+    pub fn on_reject_out(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// An incoming request from `from` was accepted by this account.
+    pub fn on_accept_in(&mut self, from: NodeId) {
+        self.push_friend(from);
+    }
+
+    fn push_friend(&mut self, id: NodeId) {
+        if self.friends.len() < MAX_TRACKED_FRIENDS {
+            if self.friends.contains(&id) {
+                self.friends_dup = true;
+            }
+            self.friends.push(id);
+        }
+    }
+
+    /// Outgoing requests decided either way.
+    #[inline]
+    pub fn decided(&self) -> u32 {
+        self.accepted + self.rejected
+    }
+
+    /// Should the detector evaluate after this send? (Caller has already
+    /// applied [`on_send`](Self::on_send).)
+    #[inline]
+    pub fn should_check_on_send(&self, cfg: &RealtimeConfig) -> bool {
+        self.sent as usize >= cfg.warmup_requests
+            && (self.sent as usize).is_multiple_of(cfg.check_every)
+    }
+
+    /// Should the detector re-evaluate after a decision on one of this
+    /// account's outgoing requests?
+    #[inline]
+    pub fn should_check_on_decide(&self, cfg: &RealtimeConfig) -> bool {
+        self.sent as usize >= cfg.warmup_requests
+            && (self.decided() as usize).is_multiple_of(cfg.check_every)
+    }
+}
+
+/// Canonical packed key for the undirected edge `a — b`.
+#[inline]
+pub fn pack_edge(a: NodeId, b: NodeId) -> u64 {
+    let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+    ((lo as u64) << 32) | hi as u64
+}
+
+/// Links among `friends` by exact pair probes against the accepted-edge
+/// set — the reference counter (quadratic in the friend cap, but the cap
+/// is [`MAX_TRACKED_FRIENDS`]).
+pub fn links_via_edges(friends: &[NodeId], edges: &HashSet<u64>) -> usize {
+    let mut links = 0usize;
+    for i in 0..friends.len() {
+        for j in (i + 1)..friends.len() {
+            if edges.contains(&pack_edge(friends[i], friends[j])) {
+                links += 1;
+            }
+        }
+    }
+    links
+}
+
+/// Features computable from the stream so far; `None` when the ratio
+/// condition lacks data (the detector stays conservative rather than
+/// flagging accounts it barely knows). `links` counts friend-to-friend
+/// edges and must agree with [`links_via_edges`] — engines may substitute
+/// a snapshot kernel only where the counts are provably equal.
+pub fn features_with(
+    st: &AccountState,
+    cfg: &RealtimeConfig,
+    links: impl FnOnce(&[NodeId]) -> usize,
+) -> Option<FeatureVector> {
+    let decided = st.decided();
+    if (decided as usize) < cfg.min_decided || st.friends.len() < cfg.min_friends {
+        return None;
+    }
+    let k = st.friends.len();
+    let cc = if k < 2 {
+        0.0
+    } else {
+        links(&st.friends) as f64 / (k * (k - 1) / 2) as f64
+    };
+    Some(FeatureVector {
+        inv_freq_1h: st.peak_1h as f64,
+        inv_freq_400h: st.sent as f64, // long-scale proxy: total so far
+        outgoing_accept_ratio: st.accepted as f64 / decided as f64,
+        incoming_accept_ratio: 1.0, // not used by the outgoing-side rule
+        clustering_coefficient: cc,
+    })
+}
+
+/// Advance the deterministic audit cursor (an LCG over log positions).
+/// Every engine replica steps this at the same global send cadence, so all
+/// agree on which account the verification team samples next.
+#[inline]
+pub fn advance_audit_cursor(cursor: usize, log_len: usize) -> usize {
+    cursor
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+        % log_len.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_window_tracks_peak() {
+        let mut st = AccountState::default();
+        let w = 3600;
+        for h in [2u64, 2, 2] {
+            st.on_send(Timestamp::from_hours(h), w);
+        }
+        assert_eq!(st.peak_1h, 3);
+        // Two hours later the window is empty again; peak is historical.
+        st.on_send(Timestamp::from_hours(4), w);
+        assert_eq!(st.recent_sends.len(), 1);
+        assert_eq!(st.peak_1h, 3);
+        assert_eq!(st.sent, 4);
+    }
+
+    #[test]
+    fn friend_cap_and_dup_flag() {
+        let mut st = AccountState::default();
+        for i in 0..60u32 {
+            st.on_accept_out(NodeId(i));
+        }
+        assert_eq!(st.friends.len(), MAX_TRACKED_FRIENDS);
+        assert!(!st.friends_dup);
+        assert_eq!(st.accepted, 60);
+        let mut st = AccountState::default();
+        st.on_accept_out(NodeId(7));
+        st.on_accept_in(NodeId(7));
+        assert!(st.friends_dup);
+    }
+
+    #[test]
+    fn links_via_edges_counts_pairs() {
+        let mut edges = HashSet::new();
+        edges.insert(pack_edge(NodeId(1), NodeId(2)));
+        edges.insert(pack_edge(NodeId(2), NodeId(3)));
+        let friends = [NodeId(1), NodeId(2), NodeId(3)];
+        assert_eq!(links_via_edges(&friends, &edges), 2);
+    }
+
+    #[test]
+    fn audit_cursor_is_deterministic_and_in_range() {
+        let mut c = 1usize;
+        for _ in 0..100 {
+            c = advance_audit_cursor(c, 37);
+            assert!(c < 37);
+        }
+        assert_eq!(
+            advance_audit_cursor(1, 37),
+            advance_audit_cursor(1, 37)
+        );
+        // Degenerate empty log must not divide by zero.
+        assert_eq!(advance_audit_cursor(1, 0), 0);
+    }
+}

@@ -92,6 +92,67 @@ where
     out
 }
 
+/// `items.into_iter().map(f).collect()` across threads: each item is
+/// *moved* into exactly one worker and mapped there, with the output
+/// reassembled in input order. This is the primitive for stateful shard
+/// workers — each shard's (large, owned) state travels to a worker thread
+/// for the duration of one epoch and comes back transformed, with no
+/// sharing and no locks. Output position `i` always holds `f(items[i])`,
+/// so results are bit-identical at every thread count.
+pub fn map_owned<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let len = items.len();
+    let threads = num_threads().min(len);
+    if threads <= 1 {
+        return items.into_iter().map(&f).collect();
+    }
+
+    let chunk = len.div_ceil(threads);
+    // Split into contiguous per-worker chunks up front; ownership of each
+    // chunk moves into its worker thread.
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let part: Vec<T> = it.by_ref().take(chunk).collect();
+        if part.is_empty() {
+            break;
+        }
+        chunks.push(part);
+    }
+
+    let chunks_total = chunks.len();
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, Vec<U>)>();
+    thread::scope(|scope| {
+        for (ci, part) in chunks.into_iter().enumerate() {
+            let tx = tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                let vals: Vec<U> = part.into_iter().map(f).collect();
+                // The receiver outlives the scope; a send can only fail if
+                // the collector below was dropped, which cannot happen.
+                let _ = tx.send((ci, vals));
+            });
+        }
+    });
+    drop(tx);
+
+    let mut parts: Vec<Option<Vec<U>>> = std::iter::repeat_with(|| None)
+        .take(chunks_total)
+        .collect();
+    for (ci, vals) in rx.iter() {
+        parts[ci] = Some(vals);
+    }
+    let mut out = Vec::with_capacity(len);
+    for part in parts {
+        out.extend(part.expect("worker chunk missing"));
+    }
+    out
+}
+
 /// `items.iter().map(f).collect()` across threads, order-preserving.
 pub fn map_slice<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
@@ -168,6 +229,21 @@ mod tests {
             assert!(num_threads() >= 1);
         });
         with_threads_env(Some("0"), || assert!(num_threads() >= 1));
+    }
+
+    #[test]
+    fn map_owned_moves_items_and_preserves_order() {
+        for &threads in &["1", "2", "8"] {
+            with_threads_env(Some(threads), || {
+                // Non-Clone, non-Copy items prove real moves.
+                let items: Vec<Box<usize>> = (0..23).map(Box::new).collect();
+                let got = map_owned(items, |b| *b * 3);
+                assert_eq!(got, (0..23).map(|i| i * 3).collect::<Vec<_>>(), "threads={threads}");
+            });
+        }
+        with_threads_env(Some("4"), || {
+            assert_eq!(map_owned(Vec::<u8>::new(), |b| b), Vec::<u8>::new());
+        });
     }
 
     #[test]

@@ -64,7 +64,7 @@ impl NeighborScratch {
     }
 
     /// Start a new (empty) friend set, resizing if the snapshot grew.
-    fn begin(&mut self, num_nodes: usize) {
+    pub fn begin(&mut self, num_nodes: usize) {
         if self.marks.len() < num_nodes {
             self.marks.resize(num_nodes, 0);
         }
@@ -76,13 +76,15 @@ impl NeighborScratch {
         }
     }
 
+    /// Add `v` to the current friend set.
     #[inline]
-    fn mark(&mut self, v: u32) {
+    pub fn mark(&mut self, v: u32) {
         self.marks[v as usize] = self.epoch;
     }
 
+    /// Is `v` in the current friend set?
     #[inline]
-    fn is_marked(&self, v: u32) -> bool {
+    pub fn is_marked(&self, v: u32) -> bool {
         self.marks[v as usize] == self.epoch
     }
 }
@@ -123,6 +125,133 @@ impl CsrSnapshot {
             chrono,
             chrono_times,
             num_edges: g.num_edges(),
+        }
+    }
+
+    /// Edge-free snapshot over `num_nodes` nodes — the seed of a streaming
+    /// engine's rotating snapshot chain (see [`Self::with_edges`]).
+    pub fn empty(num_nodes: usize) -> Self {
+        CsrSnapshot {
+            offsets: vec![0; num_nodes + 1],
+            sorted: Vec::new(),
+            sorted_times: Vec::new(),
+            chrono: Vec::new(),
+            chrono_times: Vec::new(),
+            num_edges: 0,
+        }
+    }
+
+    /// Fold a buffered edge delta into a new snapshot (epoch rotation).
+    ///
+    /// A streaming consumer accumulates accepted friendships in a flat
+    /// delta buffer and periodically rotates: `snapshot = snapshot
+    /// .with_edges(&delta)` then clears the buffer, keeping kernel calls on
+    /// the fast CSR path while amortizing rebuild cost. O(V + E + D log D)
+    /// for D additions — old rows are copied, only rows that grew re-merge.
+    ///
+    /// Caller contract (debug-asserted): endpoints are in range and
+    /// distinct, no addition duplicates an existing edge or another
+    /// addition, and each addition's time is ≥ the last chronological time
+    /// of both endpoint rows (the stream is time-ordered).
+    pub fn with_edges(&self, additions: &[(NodeId, NodeId, Timestamp)]) -> Self {
+        if additions.is_empty() {
+            return self.clone();
+        }
+        let n = self.num_nodes();
+        let mut add_deg = vec![0u32; n];
+        for &(a, b, _) in additions {
+            debug_assert!(a.index() < n && b.index() < n && a != b);
+            debug_assert!(!self.has_edge(a, b), "addition duplicates snapshot edge");
+            add_deg[a.index()] += 1;
+            add_deg[b.index()] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        for v in 0..n {
+            let old = self.degree(NodeId(v as u32)) as u32;
+            offsets.push(offsets[v] + old + add_deg[v]);
+        }
+        let total = offsets[n] as usize;
+
+        // Chronological rows: old row copied, additions appended in stream
+        // order via per-node write cursors.
+        let mut chrono = vec![0u32; total];
+        let mut chrono_times = vec![Timestamp::ZERO; total];
+        let mut cursor = vec![0u32; n];
+        for v in 0..n {
+            let node = NodeId(v as u32);
+            let dst = offsets[v] as usize;
+            let len = self.degree(node);
+            chrono[dst..dst + len].copy_from_slice(self.neighbors_chrono(node));
+            chrono_times[dst..dst + len].copy_from_slice(self.times_chrono(node));
+            cursor[v] = (dst + len) as u32;
+        }
+        for &(a, b, t) in additions {
+            for (x, y) in [(a, b), (b, a)] {
+                let c = cursor[x.index()] as usize;
+                debug_assert!(
+                    c == offsets[x.index()] as usize || chrono_times[c - 1] <= t,
+                    "additions must extend each row in time order"
+                );
+                chrono[c] = y.0;
+                chrono_times[c] = t;
+                cursor[x.index()] += 1;
+            }
+        }
+
+        // Sorted rows: untouched rows copy straight over; grown rows merge
+        // the old sorted row with the (sorted) appended tail.
+        let mut sorted = vec![0u32; total];
+        let mut sorted_times = vec![Timestamp::ZERO; total];
+        let mut tail: Vec<(u32, Timestamp)> = Vec::new();
+        for v in 0..n {
+            let node = NodeId(v as u32);
+            let dst = offsets[v] as usize;
+            let old_ids = self.neighbors_sorted(node);
+            let old_times = self.times_sorted(node);
+            if add_deg[v] == 0 {
+                sorted[dst..dst + old_ids.len()].copy_from_slice(old_ids);
+                sorted_times[dst..dst + old_times.len()].copy_from_slice(old_times);
+                continue;
+            }
+            let tail_start = dst + old_ids.len();
+            let row_end = offsets[v + 1] as usize;
+            tail.clear();
+            tail.extend(
+                chrono[tail_start..row_end]
+                    .iter()
+                    .copied()
+                    .zip(chrono_times[tail_start..row_end].iter().copied()),
+            );
+            tail.sort_unstable_by_key(|&(id, _)| id);
+            debug_assert!(
+                tail.windows(2).all(|w| w[0].0 != w[1].0),
+                "additions must not repeat an edge"
+            );
+            let (mut i, mut j, mut w) = (0, 0, dst);
+            while i < old_ids.len() || j < tail.len() {
+                let take_old = j >= tail.len() || (i < old_ids.len() && old_ids[i] < tail[j].0);
+                if take_old {
+                    sorted[w] = old_ids[i];
+                    sorted_times[w] = old_times[i];
+                    i += 1;
+                } else {
+                    sorted[w] = tail[j].0;
+                    sorted_times[w] = tail[j].1;
+                    j += 1;
+                }
+                w += 1;
+            }
+        }
+
+        CsrSnapshot {
+            offsets,
+            sorted,
+            sorted_times,
+            chrono,
+            chrono_times,
+            num_edges: self.num_edges + additions.len(),
         }
     }
 
@@ -230,7 +359,15 @@ impl CsrSnapshot {
 
     /// Count edges among the marked friend set: every friend's row is
     /// scanned once and each friend-to-friend edge is seen from both ends.
-    fn links_among_marked(&self, friends: &[u32], scratch: &NeighborScratch) -> usize {
+    ///
+    /// Public so streaming consumers (the serving engine's clustering
+    /// feature path) can combine it with a delta probe over edges not yet
+    /// folded into the snapshot: mark the set with
+    /// [`NeighborScratch::begin`]/[`NeighborScratch::mark`], call this, then
+    /// count delta edges whose both endpoints are
+    /// [`NeighborScratch::is_marked`]. Requires `friends` to be
+    /// duplicate-free, or links are over-counted.
+    pub fn links_among_marked(&self, friends: &[u32], scratch: &NeighborScratch) -> usize {
         let mut twice_links = 0usize;
         for &u in friends {
             twice_links += self.row(NodeId(u))
@@ -490,6 +627,72 @@ mod tests {
         for _ in 0..4 {
             assert_eq!(s.local_clustering(NodeId(0), &mut scratch), expected);
         }
+    }
+
+    /// Rotating an empty snapshot through edge deltas must reproduce the
+    /// one-shot freeze of the full graph, view for view.
+    #[test]
+    fn with_edges_chain_matches_freeze() {
+        let edges: Vec<(NodeId, NodeId, Timestamp)> = vec![
+            (NodeId(0), NodeId(1), t(1)),
+            (NodeId(0), NodeId(2), t(2)),
+            (NodeId(3), NodeId(4), t(2)),
+            (NodeId(1), NodeId(2), t(3)),
+            (NodeId(0), NodeId(3), t(4)),
+            (NodeId(2), NodeId(4), t(5)),
+            (NodeId(1), NodeId(4), t(6)),
+        ];
+        let mut g = TemporalGraph::with_nodes(5);
+        for &(a, b, at) in &edges {
+            g.add_edge(a, b, at).unwrap();
+        }
+        let full = CsrSnapshot::freeze(&g);
+
+        // Rotate in uneven batches, including an empty one.
+        let mut s = CsrSnapshot::empty(5);
+        for batch in [&edges[0..3], &edges[3..3], &edges[3..6], &edges[6..7]] {
+            s = s.with_edges(batch);
+        }
+        assert_eq!(s.num_nodes(), full.num_nodes());
+        assert_eq!(s.num_edges(), full.num_edges());
+        for n in s.nodes() {
+            assert_eq!(s.neighbors_sorted(n), full.neighbors_sorted(n), "{n:?}");
+            assert_eq!(s.times_sorted(n), full.times_sorted(n), "{n:?}");
+            assert_eq!(s.neighbors_chrono(n), full.neighbors_chrono(n), "{n:?}");
+            assert_eq!(s.times_chrono(n), full.times_chrono(n), "{n:?}");
+        }
+        let mut scratch = NeighborScratch::new(5);
+        for n in s.nodes() {
+            assert_eq!(
+                s.local_clustering(n, &mut scratch),
+                full.local_clustering(n, &mut scratch)
+            );
+        }
+    }
+
+    #[test]
+    fn links_among_marked_is_usable_with_a_delta_probe() {
+        // Snapshot holds 0-1, 0-2; the delta holds 1-2 (the closing link).
+        let mut g = TemporalGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), t(1)).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), t(2)).unwrap();
+        let s = CsrSnapshot::freeze(&g);
+        let delta = [(NodeId(1), NodeId(2))];
+        let friends = [1u32, 2u32];
+        let mut scratch = NeighborScratch::new(3);
+        scratch.begin(s.num_nodes());
+        for &f in &friends {
+            scratch.mark(f);
+        }
+        let base = s.links_among_marked(&friends, &scratch);
+        assert_eq!(base, 0);
+        // Each delta edge is seen from both marked endpoints, so halve.
+        let twice: usize = delta
+            .iter()
+            .flat_map(|&(a, b)| [(a, b), (b, a)])
+            .filter(|&(a, b)| scratch.is_marked(a.0) && scratch.is_marked(b.0))
+            .count();
+        assert_eq!(base + twice / 2, 1);
     }
 
     #[test]

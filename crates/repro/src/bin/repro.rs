@@ -10,7 +10,7 @@
 
 use std::path::PathBuf;
 use sybil_repro::{defenses, deployment, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
-use sybil_repro::{mixing, reach, table1, table2, table3, zoo, Ctx, Scale};
+use sybil_repro::{mixing, reach, serve, table1, table2, table3, zoo, Ctx, Scale};
 use sybil_stats::export;
 
 fn main() {
@@ -43,7 +43,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale tiny|small|paper] [--seed N] [--out DIR] \
-                     [fig1..fig9 table1..table3 zoo mixing deployment reach defenses | all]"
+                     [fig1..fig9 table1..table3 zoo mixing deployment serve reach defenses | all]"
                 );
                 return;
             }
@@ -53,7 +53,7 @@ fn main() {
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
         experiments = vec![
             "fig1", "fig2", "fig3", "fig4", "table1", "fig5", "fig6", "table2", "fig7", "fig8",
-            "fig9", "table3", "zoo", "mixing", "deployment", "reach", "defenses",
+            "fig9", "table3", "zoo", "mixing", "deployment", "serve", "reach", "defenses",
         ]
         .into_iter()
         .map(String::from)
@@ -156,6 +156,10 @@ fn main() {
             "deployment" => {
                 let r = deployment::run(&ctx, per_class);
                 save("deployment", &r, &r.render());
+            }
+            "serve" => {
+                let r = serve::run(&ctx, per_class);
+                save("serve", &r, &r.render());
             }
             "reach" => {
                 let trials = if matches!(scale, Scale::Paper) { 20 } else { 50 };

@@ -8,9 +8,11 @@
 
 use crate::fig1::ground_truth_sample;
 use crate::scenario::Ctx;
+use crate::serve::fmt_catch_rate;
 use serde::{Deserialize, Serialize};
 use sybil_core::realtime::{replay, DeploymentReport, RealtimeConfig};
 use sybil_core::ThresholdClassifier;
+use sybil_serve::{serve, ServeConfig};
 use sybil_stats::table::Table;
 
 /// Result of the deployment experiment.
@@ -33,21 +35,21 @@ pub struct Deployment {
 pub fn run(ctx: &Ctx, per_class: usize) -> Deployment {
     let ds = ground_truth_sample(ctx, per_class);
     let rule = ThresholdClassifier::calibrate(&ds);
-    let static_report = replay(
-        &ctx.out,
-        &RealtimeConfig {
+    // The sharded engine produces the same report byte-for-byte (see the
+    // `serve` experiment, which checks exactly that) but walks the stream
+    // in parallel; the sequential replay stays as a fallback for configs
+    // the engine rejects.
+    let run_variant = |adaptive: bool| {
+        let detect = RealtimeConfig {
             rule,
+            adaptive,
             ..RealtimeConfig::default()
-        },
-    );
-    let adaptive_report = replay(
-        &ctx.out,
-        &RealtimeConfig {
-            rule,
-            adaptive: true,
-            ..RealtimeConfig::default()
-        },
-    );
+        };
+        serve(&ctx.out, &ServeConfig::for_detect(detect))
+            .unwrap_or_else(|_| replay(&ctx.out, &detect))
+    };
+    let static_report = run_variant(false);
+    let adaptive_report = run_variant(true);
     // Bucket adaptive detections into 500 h operations windows.
     let window_h = 500u64;
     let mut buckets: std::collections::BTreeMap<u64, usize> = Default::default();
@@ -86,7 +88,7 @@ impl Deployment {
                 name.to_string(),
                 r.detections.len().to_string(),
                 r.true_positives.to_string(),
-                format!("{:.0}%", 100.0 * r.catch_rate()),
+                fmt_catch_rate(r.catch_rate()),
                 r.false_positives.to_string(),
                 format!("{:.0}h", r.mean_latency_h),
             ]);

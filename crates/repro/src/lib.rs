@@ -23,6 +23,7 @@
 //! | classifier zoo (+NB, LR) | extension of Table 1 | [`zoo`] |
 //! | mixing-time analysis | extension of §3.1 | [`mixing`] |
 //! | deployment replay | §2.3 production story | [`deployment`] |
+//! | sharded serving replay | §2.3 at serving scale | [`serve`] |
 //! | spam-reach cascades | §2.1 motivation | [`reach`] |
 //!
 //! Run everything with the `repro` binary:
@@ -43,6 +44,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod scenario;
+pub mod serve;
 pub mod mixing;
 pub mod reach;
 pub mod table1;

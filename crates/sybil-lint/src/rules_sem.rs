@@ -1,20 +1,24 @@
-//! The semantic S-series rules (S101–S104) over the workspace call graph.
+//! The semantic S-series rules (S101–S104, S106) over the workspace
+//! model.
 //!
 //! Unlike the token rules (D001–D006), which judge one file at a time,
 //! these rules need the whole-workspace [`WorkspaceModel`] and
 //! [`CallGraph`]: panic *reachability*, parallel-boundary *escape*, and
-//! dead-*export* analysis are all cross-file properties. Every finding
-//! carries a call-chain trace explaining, edge by edge, why the rule
-//! fired. S105 (allowlist staleness) lives in
+//! dead-*export* analysis are all cross-file properties, and S106's
+//! sanctioned-location exemption is a workspace-layout judgment. Every
+//! call-graph finding carries a trace explaining, edge by edge, why the
+//! rule fired. S105 (allowlist staleness) lives in
 //! [`workspace::run_workspace`](crate::workspace::run_workspace) because
 //! it judges the allowlist itself, not the source.
 
 use crate::callgraph::{CallGraph, Edge};
+use crate::lexer::lex;
 use crate::parser::{PanicKind, Vis};
 use crate::report::Finding;
+use crate::rules::{test_line_spans_for, FileKind};
 use crate::symbols::{FnIdx, WorkspaceModel};
 
-/// Run S101–S104, returning findings sorted by (path, line, col, rule).
+/// Run S101–S106, returning findings sorted by (path, line, col, rule).
 pub fn check_workspace(model: &WorkspaceModel) -> Vec<Finding> {
     let cg = CallGraph::build(model);
     let mut out = Vec::new();
@@ -22,6 +26,7 @@ pub fn check_workspace(model: &WorkspaceModel) -> Vec<Finding> {
     s102_float_reductions(model, &cg, &mut out);
     s103_par_captures(model, &mut out);
     s104_dead_exports(model, &mut out);
+    s106_unbounded_channels(model, &mut out);
     out.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
     });
@@ -364,5 +369,64 @@ fn s104_dead_exports(model: &WorkspaceModel, out: &mut Vec<Finding>) {
                 node.def.line
             )],
         });
+    }
+}
+
+/// S106: unbounded channel constructors. The serving engine stages every
+/// cross-shard effect in a bounded `DeltaQueue` so overflow is an
+/// explicit error; an `unbounded()` / `unbounded_channel()` constructor
+/// anywhere else trades that guarantee for silent memory growth under
+/// backpressure. Only `sybil-serve`'s queue module — the one reviewed
+/// staging surface — is exempt; reviewed uses elsewhere (with a proof of
+/// the message bound) belong in lint.toml.
+fn s106_unbounded_channels(model: &WorkspaceModel, out: &mut Vec<Finding>) {
+    const NAMES: [&str; 2] = ["unbounded", "unbounded_channel"];
+    for file in &model.files {
+        if file.kind == FileKind::Test {
+            continue;
+        }
+        if file.crate_name == "sybil-serve" && file.rel.ends_with("src/queue.rs") {
+            continue;
+        }
+        let src = file.src.as_str();
+        let toks = lex(src);
+        let spans = test_line_spans_for(src);
+        let in_test = |line: u32| spans.iter().any(|&(a, b)| line >= a && line <= b);
+        for (i, t) in toks.iter().enumerate() {
+            if !NAMES.iter().any(|n| t.is_ident(src, n)) || in_test(t.line) {
+                continue;
+            }
+            // Constructor *calls* only: `unbounded(` or `unbounded::<T>(`.
+            // A bare mention (doc string, field name) is not a channel.
+            let rest = &toks[i + 1..];
+            let is_call = rest.first().is_some_and(|n| n.is_punct(b'('))
+                || (rest.len() >= 3
+                    && rest[0].is_punct(b':')
+                    && rest[1].is_punct(b':')
+                    && rest[2].is_punct(b'<'));
+            if !is_call {
+                continue;
+            }
+            out.push(Finding {
+                rule: "S106",
+                path: file.rel.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "unbounded channel constructor `{}`; stage cross-task effects in a \
+                     bounded queue (see sybil-serve's DeltaQueue) so overflow is an \
+                     explicit error, or allowlist with the message-count bound",
+                    t.text(src)
+                ),
+                snippet: line_text(src, t.line),
+                trace: vec![format!(
+                    "`{}` constructs a channel with no capacity bound at {}:{}, \
+                     outside the sanctioned crates/sybil-serve/src/queue.rs",
+                    t.text(src),
+                    file.rel,
+                    t.line
+                )],
+            });
+        }
     }
 }

@@ -1,0 +1,28 @@
+//! S106 bad fixture: unbounded channel constructors in library code;
+//! the `unbounded` parameter below is a bare mention, not a call.
+#![forbid(unsafe_code)]
+
+/// Streams work through a channel with no capacity bound.
+pub fn fan_out(xs: &[u64]) -> u64 {
+    let (tx, rx) = channel::unbounded();
+    for &x in xs {
+        let _ = tx.send(x);
+    }
+    drop(tx);
+    rx.iter().sum()
+}
+
+/// Turbofish form of the same mistake.
+pub fn fan_out_typed(unbounded: u64) -> u64 {
+    let (tx, rx) = channel::unbounded_channel::<u64>();
+    let _ = tx.send(unbounded);
+    rx.recv().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_channels_are_ok_in_tests() {
+        let _ = channel::unbounded::<u64>();
+    }
+}

@@ -1,0 +1,6 @@
+//! Names the fixture's public surface so S104 stays quiet.
+
+fn _exercise() {
+    let _ = s106_bad::fan_out(&[1, 2]);
+    let _ = s106_bad::fan_out_typed(7);
+}

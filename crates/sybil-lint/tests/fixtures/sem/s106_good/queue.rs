@@ -1,0 +1,10 @@
+//! S106 good fixture: stands in for crates/sybil-serve/src/queue.rs,
+//! the one reviewed staging surface, where the rule does not apply.
+#![forbid(unsafe_code)]
+
+/// Builds a staging channel inside the sanctioned module.
+pub fn staging() -> u64 {
+    let (tx, rx) = channel::unbounded::<u64>();
+    let _ = tx.send(1);
+    rx.recv().unwrap_or(0)
+}

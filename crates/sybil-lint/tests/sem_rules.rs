@@ -209,11 +209,74 @@ fn s104_good_test_usage_keeps_exports_alive() {
 }
 
 // ---------------------------------------------------------------------
+// S106: unbounded channel constructors outside the sanctioned queue
+// module.
+
+#[test]
+fn s106_bad_reports_unbounded_constructors() {
+    // Two constructor calls (plain and turbofish) are flagged; the bare
+    // `unbounded` parameter name and the `#[cfg(test)]` use are not.
+    let f = sem_findings("s106_bad", ONE_FILE);
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(f.iter().all(|v| v.rule == "S106"));
+    assert!(f.iter().all(|v| v.path == "crates/s106_bad/src/lib.rs"));
+    assert_eq!((f[0].line, f[1].line), (7, 17), "{f:#?}");
+    assert!(
+        f[0].message
+            .starts_with("unbounded channel constructor `unbounded`;"),
+        "{}",
+        f[0].message
+    );
+    assert!(
+        f[1].message
+            .starts_with("unbounded channel constructor `unbounded_channel`;"),
+        "{}",
+        f[1].message
+    );
+    assert_eq!(
+        f[0].trace,
+        vec![
+            "`unbounded` constructs a channel with no capacity bound at \
+             crates/s106_bad/src/lib.rs:7, outside the sanctioned \
+             crates/sybil-serve/src/queue.rs"
+                .to_string()
+        ],
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn s106_good_queue_module_is_exempt() {
+    // The same constructor inside sybil-serve's queue module — the one
+    // reviewed staging surface — raises nothing.
+    let dir = sem_dir().join("s106_good");
+    let layout = [
+        ("queue.rs", "crates/sybil-serve/src/queue.rs"),
+        ("use_api.rs", "crates/sybil-serve/tests/use_api.rs"),
+    ];
+    let files: Vec<SourceFile> = layout
+        .iter()
+        .map(|(disk, rel)| SourceFile {
+            abs: dir.join(disk),
+            rel: rel.to_string(),
+            crate_name: "sybil-serve".to_string(),
+            kind: classify(rel),
+        })
+        .collect();
+    let sources: Vec<String> = files
+        .iter()
+        .map(|f| std::fs::read_to_string(&f.abs).expect("fixture exists"))
+        .collect();
+    let f = check_workspace(&WorkspaceModel::build(&files, &sources));
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+// ---------------------------------------------------------------------
 // Rule registry: the S-codes are first-class for allowlist validation.
 
 #[test]
 fn s_codes_are_known_rules() {
-    for code in ["S101", "S102", "S103", "S104", "S105", "D001", "D006"] {
+    for code in ["S101", "S102", "S103", "S104", "S105", "S106", "D001", "D006"] {
         assert!(sybil_lint::rules::is_known_rule(code), "{code}");
     }
     assert!(!sybil_lint::rules::is_known_rule("S999"));

@@ -1,0 +1,287 @@
+//! The epoch-barrier coordinator: slice the event stream into epochs, run
+//! every shard over each slice in parallel, merge staged effects
+//! deterministically at the barrier.
+//!
+//! The determinism argument, end to end:
+//!
+//! 1. [`EventStream`] gives every event a global `seq` in exactly the
+//!    sequential replay's processing order.
+//! 2. Within an epoch, each shard applies owned-account transitions in
+//!    event order and stages detections/feedback tagged with `seq`. All
+//!    shared inputs a check reads are either owned by that shard,
+//!    replicated identically on every shard (the audit cursor and
+//!    adaptive replica — all shards scan all events), or read-only for
+//!    the epoch (the coordinator's edge mirror plus the seq-tagged epoch
+//!    index, restricted to edges created at or before the checking
+//!    event), so no value depends on cross-shard timing.
+//! 3. At the barrier the coordinator sorts detections by `(timestamp,
+//!    seq)` (account ownership makes `seq` already unique) and feedback by
+//!    `(seq, intra)`, recovering the sequential emission order; feedback
+//!    is redistributed to every replica before the next epoch begins.
+//! 4. Feedback staged in epoch *k* is never due before epoch *k+1*
+//!    because the epoch length is clamped to the verification delay — so
+//!    deferring its delivery to the barrier loses nothing.
+//!
+//! Latency sums are accumulated in merged detection order and the final
+//! rule is read off shard 0's replica, so the assembled
+//! [`DeploymentReport`] is byte-identical to [`replay`]'s at every shard
+//! and thread count.
+
+use crate::mirror::GraphMirror;
+use crate::queue::QueueFull;
+use crate::shard::{ShardState, TaggedDetection, TaggedFeedback};
+use osn_graph::par;
+use osn_sim::stream::{EventStream, StreamEvent};
+use osn_sim::SimOutput;
+use sybil_core::realtime::{DeploymentReport, RealtimeConfig};
+
+/// Configuration of the sharded serving engine.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker shard count; 0 means "use [`par::num_threads`]" (the
+    /// `RENREN_THREADS` environment override).
+    pub shards: usize,
+    /// Barrier cadence in simulated hours. Bounds the per-epoch event
+    /// buffer; clamped to `[1, feedback_delay_h]` when adaptive feedback
+    /// is on (see the module docs for why).
+    pub epoch_hours: u64,
+    /// The detector configuration, shared with the sequential
+    /// [`replay`].
+    pub detect: RealtimeConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 0,
+            epoch_hours: 48,
+            detect: RealtimeConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Engine defaults (ambient shard count, 48 h epochs) around a given
+    /// detector configuration.
+    pub fn for_detect(detect: RealtimeConfig) -> Self {
+        ServeConfig {
+            detect,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// Why the serving engine could not produce a report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// A shard staged more effects than its epoch-invariant bound — an
+    /// engine bug, surfaced instead of silently growing the queue.
+    QueueOverflow(QueueFull),
+    /// `adaptive` with `feedback_delay_h == 0` cannot be sharded: feedback
+    /// would be due within the epoch that generated it, and the sequential
+    /// engine would apply it between adjacent events.
+    ZeroFeedbackDelay,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueOverflow(q) => write!(f, "shard effect {q}"),
+            ServeError::ZeroFeedbackDelay => {
+                write!(f, "adaptive serving requires feedback_delay_h ≥ 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<QueueFull> for ServeError {
+    fn from(q: QueueFull) -> Self {
+        ServeError::QueueOverflow(q)
+    }
+}
+
+/// A monotonic-seconds source injected by callers that want timing
+/// ([`serve_timed`]). The engine never reads a clock itself, so timing
+/// stays a benchmark concern.
+pub type Clock<'a> = &'a (dyn Fn() -> f64 + Sync);
+
+/// Timing breakdown of a [`serve_timed`] run.
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// End-to-end seconds, by the injected clock.
+    pub wall_s: f64,
+    /// Modeled parallel critical path: per epoch, the sequential
+    /// coordinator work plus the *slowest* shard's busy time. Equals
+    /// wall-clock when every shard has its own core; on fewer cores
+    /// (where shards run serially) it reports what wall-clock would be
+    /// with enough cores, exactly.
+    pub critical_path_s: f64,
+    /// Total busy seconds per shard across all epochs.
+    pub shard_busy_s: Vec<f64>,
+}
+
+/// Run the sharded streaming detector over a simulation's request log.
+/// The returned report is byte-identical to `replay(out, &cfg.detect)`
+/// for every shard count ≥ 1.
+pub fn serve(out: &SimOutput, cfg: &ServeConfig) -> Result<DeploymentReport, ServeError> {
+    serve_timed(out, cfg, &|| 0.0).map(|(report, _)| report)
+}
+
+/// [`serve`] with an injected clock, returning the timing breakdown
+/// alongside the report. Used by the `serve_throughput` bench.
+pub fn serve_timed(
+    out: &SimOutput,
+    cfg: &ServeConfig,
+    clock: Clock<'_>,
+) -> Result<(DeploymentReport, ServeStats), ServeError> {
+    let rt = cfg.detect.sanitized();
+    if rt.adaptive && rt.feedback_delay_h == 0 {
+        return Err(ServeError::ZeroFeedbackDelay);
+    }
+    let shards_n = if cfg.shards == 0 {
+        par::num_threads()
+    } else {
+        cfg.shards
+    }
+    .max(1);
+    let epoch_h = if rt.adaptive {
+        cfg.epoch_hours.clamp(1, rt.feedback_delay_h)
+    } else {
+        cfg.epoch_hours.max(1)
+    };
+    let epoch_s = epoch_h * 3600;
+
+    let n = out.accounts.len();
+    let mut shards: Vec<ShardState> = (0..shards_n)
+        .map(|s| ShardState::new(s, shards_n, n, &rt))
+        .collect();
+    let mut mirror = GraphMirror::new(n);
+
+    let mut stream = EventStream::new(&out.log).peekable();
+    let mut epoch_buf: Vec<StreamEvent> = Vec::new();
+    // Feedback staged last epoch, merged, awaiting redistribution.
+    let mut carry_feedback: Vec<TaggedFeedback> = Vec::new();
+    // All detections so far, in global stream order.
+    let mut tagged: Vec<TaggedDetection> = Vec::new();
+    let mut stats = ServeStats {
+        shard_busy_s: vec![0.0; shards_n],
+        ..ServeStats::default()
+    };
+    let mut epochs_wall_s = 0.0f64;
+    let t_start = clock();
+
+    while let Some(&first) = stream.peek() {
+        // Epochs live on an absolute grid so boundaries are independent
+        // of shard count and of where previous epochs happened to end.
+        let epoch_end = (first.at.as_secs() / epoch_s + 1) * epoch_s;
+        epoch_buf.clear();
+        while let Some(&ev) = stream.peek() {
+            if ev.at.as_secs() < epoch_end {
+                epoch_buf.push(ev);
+                stream.next();
+            } else {
+                break;
+            }
+        }
+
+        let feed = std::mem::take(&mut carry_feedback);
+        let events = &epoch_buf;
+        let t_epoch = clock();
+        // Sequential prepass: collect the epoch's new edges, seq-tagged,
+        // so shards can read them without maintaining their own mirrors.
+        let eidx = mirror.index_epoch(events, out);
+        let results = par::map_owned(std::mem::take(&mut shards), |mut s| {
+            let t0 = clock();
+            let staged = s.run_epoch(events, out, &feed, &mirror, &eidx);
+            let busy = clock() - t0;
+            staged.map(|e| (s, e, busy))
+        });
+
+        let mut epoch_dets: Vec<TaggedDetection> = Vec::new();
+        let mut epoch_fb: Vec<TaggedFeedback> = Vec::new();
+        let (mut busy_sum, mut busy_max) = (0.0f64, 0.0f64);
+        for r in results {
+            let (s, eout, busy) = r?;
+            stats.shard_busy_s[shards.len()] += busy;
+            busy_sum += busy;
+            busy_max = busy_max.max(busy);
+            shards.push(s);
+            epoch_dets.extend(eout.detections.into_items());
+            epoch_fb.extend(eout.feedback.into_items());
+        }
+        // Coordinator work is everything in the epoch that is not shard
+        // busy time; the critical path pays it plus the slowest shard.
+        let epoch_wall = clock() - t_epoch;
+        let coord = (epoch_wall - busy_sum).max(0.0);
+        stats.critical_path_s += coord + busy_max;
+        epochs_wall_s += epoch_wall;
+        // Deterministic merge: (timestamp, seq) recovers the sequential
+        // emission order (seq is unique; account ownership partitions the
+        // stream, so no two shards stage the same seq+kind).
+        epoch_dets.sort_by_key(|d| (d.detection.at, d.seq));
+        tagged.extend(epoch_dets);
+        epoch_fb.sort_by_key(|f| (f.seq, f.intra));
+        carry_feedback = epoch_fb;
+        mirror.absorb(eidx);
+    }
+
+    let report = assemble(out, &rt, &shards, &tagged);
+    stats.wall_s = clock() - t_start;
+    // Stream buffering and final assembly are sequential coordinator
+    // work: everything outside the per-epoch windows joins the path.
+    stats.critical_path_s += (stats.wall_s - epochs_wall_s).max(0.0);
+    Ok((report, stats))
+}
+
+/// Fold merged detections and final shard states into the report, in the
+/// exact arithmetic order the sequential engine used.
+fn assemble(
+    out: &SimOutput,
+    rt: &RealtimeConfig,
+    shards: &[ShardState],
+    tagged: &[TaggedDetection],
+) -> DeploymentReport {
+    let mut report = DeploymentReport {
+        final_rule: rt.rule,
+        ..Default::default()
+    };
+    for td in tagged {
+        let d = td.detection;
+        report.detections.push(d);
+        if d.correct {
+            report.true_positives += 1;
+            // Same accumulation order as the sequential loop: global
+            // detection order, one running f64 sum.
+            report.mean_latency_h +=
+                d.at.as_hours() - out.accounts[d.account.index()].created_at.as_hours();
+        } else {
+            report.false_positives += 1;
+        }
+    }
+    let shards_n = shards.len();
+    for (i, a) in out.accounts.iter().enumerate() {
+        if a.is_sybil() {
+            let st = &shards[i % shards_n].states[i / shards_n];
+            if st.sent as usize >= rt.warmup_requests && !st.detected {
+                report.missed += 1;
+            }
+        }
+    }
+    if report.true_positives > 0 {
+        report.mean_latency_h /= report.true_positives as f64;
+    }
+    report.final_rule = if rt.adaptive {
+        // Every replica applied the identical feedback sequence; in debug
+        // builds, spot-check the invariant on the audit cursor.
+        debug_assert!(shards
+            .windows(2)
+            .all(|w| w[0].audit_cursor == w[1].audit_cursor));
+        shards[0].current_rule()
+    } else {
+        rt.rule
+    };
+    report.detections.sort_by_key(|d| d.at);
+    report
+}

@@ -1,0 +1,33 @@
+//! # sybil-serve — sharded streaming Sybil detection engine
+//!
+//! The paper's deployed detector (§2.3, §5) was an *online* system
+//! consuming Renren's live friend-request stream. This crate is the
+//! serving-scale counterpart of the sequential
+//! [`replay`](sybil_core::realtime::replay): the merged send/decision
+//! stream is processed by `N` worker shards partitioned by account id,
+//! each owning its accounts' running state ([`AccountState`] from
+//! `sybil_core::realtime::state`). Clustering features are served from
+//! the coordinator's single accepted-edge mirror — a rotating
+//! [`CsrSnapshot`](osn_graph::CsrSnapshot) plus an unfolded delta and a
+//! seq-tagged index of the running epoch's edges — lent to shards
+//! read-only, so per-shard cost is owned-account work, not edge
+//! bookkeeping.
+//!
+//! Cross-shard effects — detections and verification feedback — are
+//! staged in bounded SPSC [`queue::DeltaQueue`]s and merged
+//! deterministically at epoch barriers. The headline invariant: the
+//! [`DeploymentReport`](sybil_core::realtime::DeploymentReport) this
+//! engine produces is **byte-identical** to the sequential replay's at
+//! every shard count and every `RENREN_THREADS` value. See `engine` for
+//! the argument and DESIGN.md §"Serving architecture" for the prose
+//! version.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod engine;
+mod mirror;
+pub mod queue;
+mod shard;
+
+pub use engine::{serve, serve_timed, ServeConfig, ServeError, ServeStats};

@@ -1,0 +1,120 @@
+//! The coordinator's canonical edge mirror.
+//!
+//! Exactly one copy of the accepted-friendship state exists: the
+//! coordinator maintains it sequentially (a packed-key set for pair
+//! probes, a rotating [`CsrSnapshot`] plus unfolded-delta adjacency for
+//! the marked-set clustering kernel) and lends it to every shard
+//! read-only for the duration of an epoch. Edges accepted *within* the
+//! running epoch live in a seq-tagged [`EpochIndex`] built in a cheap
+//! sequential prepass, so a mid-epoch check at stream position `s` counts
+//! exactly the edges the sequential engine had inserted by `s`:
+//! `mirror ∪ {epoch edges with seq ≤ s}`.
+//!
+//! Keeping this state out of the shards is what makes the engine scale:
+//! a shard's per-event cost for accounts it does not own is a counter and
+//! a branch, not a hash-table write, so adding shards divides the check
+//! work without multiplying the edge bookkeeping.
+
+use osn_graph::{CsrSnapshot, NodeId, Timestamp};
+use osn_sim::stream::{StreamEvent, StreamEventKind};
+use osn_sim::SimOutput;
+use std::collections::{HashMap, HashSet};
+use sybil_core::realtime::state;
+
+/// Rotate the snapshot once the unfolded delta reaches this many edges or
+/// a quarter of the folded edge count, whichever is larger — geometric
+/// growth keeps total rebuild work O(E) amortized.
+const ROTATE_FLOOR: usize = 1024;
+
+/// Canonical accepted-edge state as of the start of the current epoch.
+pub(crate) struct GraphMirror {
+    /// Every accepted friendship, as packed undirected keys.
+    pub edges: HashSet<u64>,
+    /// Folded prefix of the edge stream.
+    pub snapshot: CsrSnapshot,
+    /// Edges accepted since the last rotation, both directions, for
+    /// marked probes alongside the snapshot kernel.
+    pub delta_adj: HashMap<u32, Vec<u32>>,
+    /// The same unfolded edges in stream order, staged for the next fold.
+    delta_edges: Vec<(NodeId, NodeId, Timestamp)>,
+}
+
+/// New edges of the epoch being processed, tagged with the stream
+/// position that created them.
+pub(crate) struct EpochIndex {
+    /// Seq-tagged adjacency (both directions) over this epoch's new edges.
+    pub adj: HashMap<u32, Vec<(u32, u64)>>,
+    /// The same edges in stream order, for [`GraphMirror::absorb`].
+    new_edges: Vec<(NodeId, NodeId, Timestamp)>,
+}
+
+impl EpochIndex {
+    /// Whether `a`–`b` was created in this epoch at or before `seq`.
+    pub(crate) fn linked(&self, a: u32, b: u32, seq: u64) -> bool {
+        self.adj
+            .get(&a)
+            .is_some_and(|l| l.iter().any(|&(v, s)| v == b && s <= seq))
+    }
+}
+
+impl GraphMirror {
+    pub fn new(num_accounts: usize) -> Self {
+        GraphMirror {
+            edges: HashSet::new(),
+            snapshot: CsrSnapshot::empty(num_accounts),
+            delta_adj: HashMap::new(),
+            delta_edges: Vec::new(),
+        }
+    }
+
+    /// Sequential prepass over one epoch's events: collect the accepts
+    /// that create a new edge, in order, tagged with their seq.
+    pub(crate) fn index_epoch(&self, events: &[StreamEvent], out: &SimOutput) -> EpochIndex {
+        let mut idx = EpochIndex {
+            adj: HashMap::new(),
+            new_edges: Vec::new(),
+        };
+        for ev in events {
+            let StreamEventKind::Decided(i) = ev.kind else {
+                continue;
+            };
+            let r = out.log.get(i as usize);
+            if !r.outcome.is_accepted() {
+                continue;
+            }
+            let e = state::pack_edge(r.from, r.to);
+            if self.edges.contains(&e) || idx.linked(r.from.0, r.to.0, u64::MAX) {
+                continue;
+            }
+            idx.adj.entry(r.from.0).or_default().push((r.to.0, ev.seq));
+            idx.adj.entry(r.to.0).or_default().push((r.from.0, ev.seq));
+            idx.new_edges.push((r.from, r.to, ev.at));
+        }
+        idx
+    }
+
+    /// Whether `a`–`b` existed at epoch start (pair-probe path).
+    pub(crate) fn pair_linked(&self, a: NodeId, b: NodeId) -> bool {
+        self.edges.contains(&state::pack_edge(a, b))
+    }
+
+    /// Fold an epoch's new edges in after the barrier, rotating the
+    /// snapshot when the delta outgrows the threshold. Rotation timing is
+    /// value-neutral — a link counts the same from the snapshot, the
+    /// delta, or the epoch index — and deterministic, since the delta is
+    /// a pure function of the event stream.
+    pub(crate) fn absorb(&mut self, idx: EpochIndex) {
+        for &(u, v, t) in &idx.new_edges {
+            self.edges.insert(state::pack_edge(u, v));
+            self.delta_adj.entry(u.0).or_default().push(v.0);
+            self.delta_adj.entry(v.0).or_default().push(u.0);
+            self.delta_edges.push((u, v, t));
+        }
+        let threshold = ROTATE_FLOOR.max(self.snapshot.num_edges() / 4);
+        if self.delta_edges.len() >= threshold {
+            self.snapshot = self.snapshot.with_edges(&self.delta_edges);
+            self.delta_edges.clear();
+            self.delta_adj.clear();
+        }
+    }
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 gate from ROADMAP.md plus a zero-warning
 # clippy pass, the sybil-lint semantic audit, the thread-count
-# bit-identity smoke test (the sanitizer stand-in — see DESIGN.md), and
-# the parallel-substrate bench-regression guard.
+# bit-identity smoke test (the sanitizer stand-in — see DESIGN.md), the
+# parallel-substrate bench-regression guard, and the serving-engine
+# serve-vs-replay equivalence smoke.
 # Run from the workspace root: ./scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -42,5 +43,24 @@ print(f"bench guard: clustering {cc:.2f}x, features {feat:.2f}x, "
       f"bit_identical={report['bit_identical']}")
 sys.exit(0 if ok else 1)
 PY
+
+echo "== serving engine: serve-vs-replay equivalence at 1 and 8 shards =="
+# The sharded engine must reproduce the sequential replay byte-for-byte
+# regardless of shard count; `repro serve` embeds both byte-comparisons
+# (static and adaptive) in its JSON, so assert them at two thread counts.
+for threads in 1 8; do
+    out_dir="$bench_tmp/serve_t$threads"
+    RENREN_THREADS=$threads cargo run -q --release -p sybil-repro --bin repro -- \
+        --scale tiny --out "$out_dir" serve >/dev/null
+    python3 - "$out_dir/tiny-seed1/serve.json" "$threads" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+ok = r["matches_replay_static"] and r["matches_replay_adaptive"]
+print(f"serve guard (RENREN_THREADS={sys.argv[2]}, shards={r['shards']}): "
+      f"static≡replay={r['matches_replay_static']}, "
+      f"adaptive≡replay={r['matches_replay_adaptive']}")
+sys.exit(0 if ok else 1)
+PY
+done
 
 echo "verify: OK"

@@ -9,6 +9,8 @@
 //! * [`features`] — behavioral feature extraction (`sybil-features`)
 //! * [`detect`] — the paper's detectors: threshold, adaptive, SVM
 //!   (`sybil-core`)
+//! * [`serve`] — sharded streaming detection engine with epoch snapshots
+//!   and deterministic merge (`sybil-serve`)
 //! * [`defense`] — graph-based baselines: SybilGuard, SybilLimit,
 //!   SybilInfer, SumUp (`sybil-defense`)
 //! * [`stats`] — CDFs, histograms, ASCII plots, exports (`sybil-stats`)
@@ -26,4 +28,5 @@ pub use sybil_core as detect;
 pub use sybil_defense as defense;
 pub use sybil_features as features;
 pub use sybil_repro as repro;
+pub use sybil_serve as serve;
 pub use sybil_stats as stats;
