@@ -4,10 +4,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use sybil_bench::tiny_ctx;
-use sybil_repro::{deployment, mixing, zoo};
+use sybil_repro::{deployment, mixing, zoo, RunSpec, Scale};
 
 fn bench_extensions(c: &mut Criterion) {
     let ctx = tiny_ctx();
+    let spec = RunSpec::builder().scale(Scale::Tiny).build();
 
     let z = zoo::run(ctx, 50, 5);
     for r in &z.rows {
@@ -29,14 +30,14 @@ fn bench_extensions(c: &mut Criterion) {
     );
     c.bench_function("mixing_analysis", |b| b.iter(|| black_box(mixing::run(ctx))));
 
-    let d = deployment::run(ctx, 50);
+    let d = deployment::run(ctx, &spec);
     println!(
         "[deployment] static catch {:.0}% | adaptive catch {:.0}%",
         100.0 * d.static_report.catch_rate(),
         100.0 * d.adaptive_report.catch_rate()
     );
     c.bench_function("deployment_replay", |b| {
-        b.iter(|| black_box(deployment::run(ctx, 50)))
+        b.iter(|| black_box(deployment::run(ctx, &spec)))
     });
 }
 

@@ -1,0 +1,102 @@
+//! Overhead guard for the sybil-obs instrumentation on the serving
+//! engine's critical path.
+//!
+//! Replays the same adaptive stream through `serve_timed` (no metrics)
+//! and `serve_observed` (full metric registry + per-shard counters +
+//! epoch spans), interleaved best-of-`REPS`, and compares the engine's
+//! parallel critical path. The acceptance gate: observability must cost
+//! under 5% — counters are plain integer adds on already-owned state, so
+//! anything above that signals an accidental allocation or lock on the
+//! hot path. Writes `BENCH_obs.json` at the workspace root.
+//!
+//! Run with `cargo run --release -p sybil-bench --bin obs_overhead`.
+
+use osn_sim::stream::EventStream;
+use osn_sim::{simulate, SimConfig};
+use std::time::Instant;
+use sybil_core::realtime::RealtimeConfig;
+use sybil_core::ThresholdClassifier;
+use sybil_serve::{serve_observed, serve_timed, ServeConfig};
+
+const REPS: usize = 5;
+
+fn main() {
+    let out = simulate(SimConfig::small(42));
+    let events = EventStream::new(&out.log).total_events();
+    eprintln!(
+        "obs_overhead: {} accounts, {} merged events",
+        out.accounts.len(),
+        events
+    );
+
+    // Adaptive config: every instrumented path (checks, detections,
+    // feature computation, feedback, audits) is live.
+    let detect = RealtimeConfig {
+        rule: ThresholdClassifier {
+            max_out_ratio: 0.5,
+            min_freq: 15.0,
+            max_cc: f64::INFINITY,
+        },
+        adaptive: true,
+        ..RealtimeConfig::default()
+    };
+    let cfg = ServeConfig {
+        shards: 4,
+        epoch_hours: 48,
+        detect,
+    };
+
+    let epoch = Instant::now();
+    let clock = move || epoch.elapsed().as_secs_f64();
+
+    // Interleave the two variants so drift (thermal, cache, scheduler)
+    // hits both equally; keep the best critical path per variant.
+    let mut off_best = f64::INFINITY;
+    let mut on_best = f64::INFINITY;
+    let mut reports = Vec::new();
+    for _ in 0..REPS {
+        let (r_off, stats_off) = serve_timed(&out, &cfg, &clock).expect("serve failed");
+        off_best = off_best.min(stats_off.critical_path_s);
+        let mut reg = sybil_obs::Registry::new();
+        let (r_on, stats_on) = serve_observed(&out, &cfg, &clock, &mut reg).expect("serve failed");
+        on_best = on_best.min(stats_on.critical_path_s);
+        reports.push((r_off, r_on, reg.snapshot()));
+    }
+    let (r_off, r_on, snapshot) = reports.pop().expect("REPS >= 1");
+    let identical = serde_json::to_string(&r_off).expect("report serializes")
+        == serde_json::to_string(&r_on).expect("report serializes");
+
+    let overhead_pct = ((on_best - off_best) / off_best * 100.0).max(0.0);
+    eprintln!(
+        "  off {:.1} ms | on {:.1} ms | overhead {overhead_pct:.2}% | identical={identical}",
+        off_best * 1e3,
+        on_best * 1e3
+    );
+
+    let report = serde_json::json!({
+        "bench": "obs_overhead",
+        "events": events,
+        "accounts": out.accounts.len(),
+        "reps": REPS,
+        "shards": 4,
+        "timing": "critical_path (coordinator + slowest shard per epoch), best of reps, \
+                   off/on interleaved",
+        "off_critical_path_ms": off_best * 1e3,
+        "on_critical_path_ms": on_best * 1e3,
+        "overhead_pct": overhead_pct,
+        "report_identical": identical,
+        "logical_metrics": snapshot.logical.len(),
+        "sharded_metrics": snapshot.sharded.len(),
+    });
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("{json}");
+    assert!(
+        identical,
+        "acceptance: observed and unobserved runs must produce the same report"
+    );
+    assert!(
+        overhead_pct < 5.0,
+        "acceptance: observability overhead must stay under 5% ({overhead_pct:.2}%)"
+    );
+}

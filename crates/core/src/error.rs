@@ -1,0 +1,103 @@
+//! The workspace error type.
+//!
+//! Fallible public APIs across the workspace return [`Error`] (or a
+//! crate-local error that converts into it) instead of `String`: callers
+//! can match on the failure class, the message formatting lives in one
+//! `Display` impl, and lint rule S107 keeps stringly-typed `Result<_,
+//! String>` signatures from creeping back in. Hand-rolled (no `thiserror`
+//! dependency) but shaped the same way: one variant per failure class,
+//! `From` impls for the source errors, `source()` wired through.
+
+use std::fmt;
+
+/// What went wrong, by failure class.
+#[derive(Debug)]
+pub enum Error {
+    /// A configuration field failed validation.
+    InvalidConfig {
+        /// The offending field, e.g. `"check_every"`.
+        field: &'static str,
+        /// Why the value is rejected.
+        message: String,
+    },
+    /// A structural graph operation failed (self-loop, duplicate edge,
+    /// unknown node).
+    Graph(osn_graph::GraphError),
+    /// An edge-list read failed (I/O, parse, or bad edge).
+    Read(osn_graph::io::ReadError),
+    /// An underlying I/O failure outside the edge-list reader.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { field, message } => {
+                write!(f, "invalid config: {field}: {message}")
+            }
+            Error::Graph(e) => write!(f, "graph error: {e}"),
+            Error::Read(e) => write!(f, "read error: {e}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::InvalidConfig { .. } => None,
+            Error::Graph(e) => Some(e),
+            Error::Read(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<osn_graph::GraphError> for Error {
+    fn from(e: osn_graph::GraphError) -> Self {
+        Error::Graph(e)
+    }
+}
+
+impl From<osn_graph::io::ReadError> for Error {
+    fn from(e: osn_graph::io::ReadError) -> Self {
+        Error::Read(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = Error::InvalidConfig {
+            field: "check_every",
+            message: "must be ≥ 1".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("check_every"));
+        assert!(s.contains("must be ≥ 1"));
+    }
+
+    #[test]
+    fn from_graph_error_preserves_source() {
+        use std::error::Error as _;
+        let e: Error = osn_graph::GraphError::SelfLoop(osn_graph::NodeId(3)).into();
+        assert!(matches!(e, Error::Graph(_)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn from_io_error_round_trips() {
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod adaptive;
 pub mod bayes;
+pub mod error;
 pub mod eval;
 pub mod logistic;
 pub mod realtime;
@@ -33,6 +34,7 @@ pub mod threshold;
 
 pub use adaptive::AdaptiveThresholds;
 pub use bayes::NaiveBayes;
+pub use error::Error;
 pub use eval::ConfusionMatrix;
 pub use logistic::LogisticRegression;
 pub use svm::{KernelSvm, LinearSvm, Scaler};

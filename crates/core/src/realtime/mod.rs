@@ -90,12 +90,18 @@ impl RealtimeConfig {
     /// Strict validation for configs coming from the outside (CLI, files):
     /// rejects the zero cadences that [`sanitized`](Self::sanitized) would
     /// clamp, so callers can surface the mistake instead of guessing.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::Error> {
         if self.check_every == 0 {
-            return Err("check_every must be ≥ 1 (0 disables every evaluation)".into());
+            return Err(crate::Error::InvalidConfig {
+                field: "check_every",
+                message: "must be ≥ 1 (0 disables every evaluation)".into(),
+            });
         }
         if self.audit_every == 0 {
-            return Err("audit_every must be ≥ 1 (0 disables every audit)".into());
+            return Err(crate::Error::InvalidConfig {
+                field: "audit_every",
+                message: "must be ≥ 1 (0 disables every audit)".into(),
+            });
         }
         Ok(())
     }
@@ -148,26 +154,96 @@ impl DeploymentReport {
 
 /// Replay a simulation's request log through the streaming detector.
 pub fn replay(out: &SimOutput, cfg: &RealtimeConfig) -> DeploymentReport {
-    let cfg = cfg.sanitized();
-    let n = out.accounts.len();
-    let mut eng = Replayer {
-        out,
-        cfg,
-        states: (0..n).map(|_| AccountState::default()).collect(),
-        edges: HashSet::new(),
-        adaptive: AdaptiveThresholds::from_rule(&cfg.rule, 0.02),
-        feedback_queue: VecDeque::new(),
-        report: DeploymentReport {
-            final_rule: cfg.rule,
-            ..Default::default()
-        },
-        processed_sends: 0,
-        audit_cursor: 1,
-    };
+    let mut eng = Replayer::new(out, cfg.sanitized(), None);
     for ev in EventStream::new(&out.log) {
         eng.on_event(ev);
     }
     eng.finish()
+}
+
+/// Replay with observability: like [`replay`], but tallies the engine's
+/// logical activity (events processed, checks run, detections, features
+/// computed, adaptive feedback applied, audits sampled) into `obs`, and —
+/// when `clock` is given — wall-times feature computation into the
+/// `feature_compute` span. The logical tallies never read a clock, so the
+/// report *and* the logical metrics stay bit-identical to [`replay`].
+pub fn replay_observed(
+    out: &SimOutput,
+    cfg: &RealtimeConfig,
+    obs: &mut sybil_obs::Registry,
+    clock: Option<sybil_obs::Clock<'_>>,
+) -> DeploymentReport {
+    let mut eng = Replayer::new(out, cfg.sanitized(), clock);
+    for ev in EventStream::new(&out.log) {
+        eng.on_event(ev);
+    }
+    let counters = std::mem::take(&mut eng.counters);
+    let feat_span = std::mem::take(&mut eng.feat_span);
+    let report = eng.finish();
+    counters.export(obs);
+    if clock.is_some() {
+        let sid = obs.span("feature_compute");
+        obs.record_span_agg(sid, feat_span.count, feat_span.total_s, feat_span.max_s);
+    }
+    report
+}
+
+/// Always-on logical tallies of a detection engine's work. Plain fields
+/// (no registry lookups) keep the hot path at an integer add; exported
+/// into a [`sybil_obs::Registry`] once per run. Shared with the sharded
+/// `sybil-serve` engine so both report the same metric keys — and the
+/// summed shard tallies must equal the sequential replay's (the
+/// determinism contract extends to logical metrics).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplayCounters {
+    /// Stream events consumed (sends + decisions).
+    pub events_processed: u64,
+    /// Rule evaluations attempted (before the feature gate).
+    pub checks_run: u64,
+    /// Accounts flagged.
+    pub detections: u64,
+    /// Feature vectors actually computed (feature gate passed).
+    pub features_computed: u64,
+    /// Adaptive feedback items applied to the threshold trackers.
+    pub feedback_applied: u64,
+    /// Random audits whose features could be computed.
+    pub audits_sampled: u64,
+}
+
+impl ReplayCounters {
+    /// Add the tallies to their logical counters in `obs`.
+    pub fn export(&self, obs: &mut sybil_obs::Registry) {
+        for (name, v) in [
+            ("events_processed", self.events_processed),
+            ("checks_run", self.checks_run),
+            ("detections", self.detections),
+            ("features_computed", self.features_computed),
+            ("feedback_applied", self.feedback_applied),
+            ("audits_sampled", self.audits_sampled),
+        ] {
+            let id = obs.counter(name);
+            obs.add(id, v);
+        }
+    }
+}
+
+/// Private wall-span accumulation: count, total seconds, longest single
+/// recording.
+#[derive(Clone, Copy, Debug, Default)]
+struct SpanAgg {
+    count: u64,
+    total_s: f64,
+    max_s: f64,
+}
+
+impl SpanAgg {
+    fn record(&mut self, seconds: f64) {
+        self.count += 1;
+        self.total_s += seconds;
+        if seconds > self.max_s {
+            self.max_s = seconds;
+        }
+    }
 }
 
 /// The sequential engine: one loop owning every account's state.
@@ -184,15 +260,42 @@ struct Replayer<'a> {
     processed_sends: usize,
     /// Deterministic pseudo-random audit pointer.
     audit_cursor: usize,
+    counters: ReplayCounters,
+    /// Injected wall clock; `None` outside observed runs.
+    clock: Option<sybil_obs::Clock<'a>>,
+    feat_span: SpanAgg,
 }
 
-impl Replayer<'_> {
+impl<'a> Replayer<'a> {
+    fn new(out: &'a SimOutput, cfg: RealtimeConfig, clock: Option<sybil_obs::Clock<'a>>) -> Self {
+        let n = out.accounts.len();
+        Replayer {
+            out,
+            cfg,
+            states: (0..n).map(|_| AccountState::default()).collect(),
+            edges: HashSet::new(),
+            adaptive: AdaptiveThresholds::from_rule(&cfg.rule, 0.02),
+            feedback_queue: VecDeque::new(),
+            report: DeploymentReport {
+                final_rule: cfg.rule,
+                ..Default::default()
+            },
+            processed_sends: 0,
+            audit_cursor: 1,
+            counters: ReplayCounters::default(),
+            clock,
+            feat_span: SpanAgg::default(),
+        }
+    }
+
     fn on_event(&mut self, ev: StreamEvent) {
         let t = ev.at;
+        self.counters.events_processed += 1;
         // Deliver due verification feedback.
         while let Some(&(due, f, truth)) = self.feedback_queue.front() {
             if due <= t {
                 self.adaptive.feedback(&f, truth);
+                self.counters.feedback_applied += 1;
                 self.feedback_queue.pop_front();
             } else {
                 break;
@@ -224,6 +327,7 @@ impl Replayer<'_> {
             self.audit_cursor = state::advance_audit_cursor(self.audit_cursor, self.out.log.len());
             let sample = self.out.log.get(self.audit_cursor);
             if let Some(f) = self.features_of(sample.from) {
+                self.counters.audits_sampled += 1;
                 self.feedback_queue.push_back((
                     t.plus_secs(self.cfg.feedback_delay_h * 3600),
                     f,
@@ -251,13 +355,32 @@ impl Replayer<'_> {
         }
     }
 
-    fn features_of(&self, who: NodeId) -> Option<FeatureVector> {
+    /// The pure feature computation, shared by the timed and untimed
+    /// paths of [`features_of`](Self::features_of).
+    fn compute_features(&self, who: NodeId) -> Option<FeatureVector> {
         state::features_with(&self.states[who.index()], &self.cfg, |friends| {
             state::links_via_edges(friends, &self.edges)
         })
     }
 
+    fn features_of(&mut self, who: NodeId) -> Option<FeatureVector> {
+        let f = match self.clock {
+            Some(clock) => {
+                let t0 = clock();
+                let f = self.compute_features(who);
+                self.feat_span.record(clock() - t0);
+                f
+            }
+            None => self.compute_features(who),
+        };
+        if f.is_some() {
+            self.counters.features_computed += 1;
+        }
+        f
+    }
+
     fn check(&mut self, who: NodeId, t: Timestamp) {
+        self.counters.checks_run += 1;
         let Some(f) = self.features_of(who) else {
             return;
         };
@@ -269,6 +392,7 @@ impl Replayer<'_> {
         if rule.is_sybil(&f) {
             let truth = self.out.is_sybil(who);
             self.states[who.index()].detected = true;
+            self.counters.detections += 1;
             self.report.detections.push(Detection {
                 account: who,
                 at: t,

@@ -23,8 +23,9 @@ pub enum ReadError {
     Io(io::Error),
     /// A line was malformed; carries the 1-based line number and content.
     Parse(usize, String),
-    /// An edge was invalid (self-loop or duplicate).
-    BadEdge(usize, String),
+    /// An edge was invalid (self-loop or duplicate); carries the 1-based
+    /// line number and the structural error.
+    BadEdge(usize, crate::graph::GraphError),
 }
 
 impl std::fmt::Display for ReadError {
@@ -78,7 +79,7 @@ pub fn read_edge_list<R: BufRead>(r: R) -> Result<TemporalGraph, ReadError> {
     });
     for (i, (a, b, t)) in rows.into_iter().enumerate() {
         g.add_edge(NodeId(a), NodeId(b), Timestamp(t))
-            .map_err(|e| ReadError::BadEdge(i + 2, e.to_string()))?;
+            .map_err(|e| ReadError::BadEdge(i + 2, e))?;
     }
     Ok(g)
 }

@@ -71,6 +71,6 @@ pub mod subgraph;
 pub mod unionfind;
 pub mod walks;
 
-pub use graph::{EdgeId, EdgeRecord, Neighbor, NodeId, TemporalGraph, Timestamp};
+pub use graph::{EdgeId, EdgeRecord, GraphError, Neighbor, NodeId, TemporalGraph, Timestamp};
 pub use snapshot::{CsrSnapshot, NeighborScratch};
 pub use unionfind::UnionFind;

@@ -30,6 +30,43 @@ use osn_graph::{NodeId, TemporalGraph, Timestamp};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::collections::{HashSet, VecDeque};
+use sybil_obs::{CounterId, HistId, Registry, Snapshot};
+
+/// Seconds per histogram bucket of `requests_by_week`.
+const WEEK_SECS: u64 = 7 * 24 * 3600;
+
+/// Handles into the engine's always-on metric registry. The counters are
+/// *logical* quantities (what happened, not when in wall time), so their
+/// snapshot is a pure function of the [`SimConfig`], like every other
+/// simulator output.
+struct SimMetrics {
+    /// Friend requests issued (all actor types).
+    requests_sent: CounterId,
+    /// Requests resolved accepted (including crossed-request confirms).
+    requests_accepted: CounterId,
+    /// Requests resolved rejected.
+    requests_rejected: CounterId,
+    /// Sybil tool batch refills (one per burst-size draw).
+    tool_batches: CounterId,
+    /// Normal-user targets chosen through the friend-of-friend path.
+    triadic_closures: CounterId,
+    /// Histogram of request send times, one bucket per simulated week.
+    requests_by_week: HistId,
+}
+
+impl SimMetrics {
+    fn new(reg: &mut Registry, end: Timestamp) -> Self {
+        let weeks = (end.as_secs() / WEEK_SECS + 1) as usize;
+        SimMetrics {
+            requests_sent: reg.counter("requests_sent"),
+            requests_accepted: reg.counter("requests_accepted"),
+            requests_rejected: reg.counter("requests_rejected"),
+            tool_batches: reg.counter("tool_batches"),
+            triadic_closures: reg.counter("triadic_closures"),
+            requests_by_week: reg.histogram("requests_by_week", WEEK_SECS, weeks),
+        }
+    }
+}
 
 /// Per-attacker runtime state.
 #[derive(Debug)]
@@ -72,6 +109,8 @@ pub struct Simulator {
     sybils: Vec<SybilState>,
     end: Timestamp,
     estats: EngineStats,
+    obs: Registry,
+    metrics: SimMetrics,
 }
 
 #[inline]
@@ -216,6 +255,8 @@ impl Simulator {
             }
         }
 
+        let mut obs = Registry::new();
+        let metrics = SimMetrics::new(&mut obs, end);
         Simulator {
             cfg,
             rng,
@@ -230,11 +271,21 @@ impl Simulator {
             sybils: sybil_states,
             end,
             estats: EngineStats::default(),
+            obs,
+            metrics,
         }
     }
 
     /// Run the event loop to completion and return the collected output.
-    pub fn run(mut self) -> SimOutput {
+    pub fn run(self) -> SimOutput {
+        self.run_observed().0
+    }
+
+    /// Run to completion and also return the engine's metric snapshot
+    /// (requests sent/accepted/rejected, tool batches, triadic closures,
+    /// per-week request histogram). All metrics are logical, so the
+    /// snapshot is as deterministic as the output itself.
+    pub fn run_observed(mut self) -> (SimOutput, Snapshot) {
         while let Some((t, ev)) = self.queue.pop() {
             if t > self.end {
                 break; // events pop in time order; the rest are later still
@@ -248,13 +299,17 @@ impl Simulator {
                 Event::Ban { sybil } => self.handle_ban(sybil, t),
             }
         }
-        SimOutput {
-            config: self.cfg,
-            graph: self.graph,
-            accounts: self.accounts,
-            log: self.log,
-            engine_stats: self.estats,
-        }
+        let snapshot = self.obs.snapshot();
+        (
+            SimOutput {
+                config: self.cfg,
+                graph: self.graph,
+                accounts: self.accounts,
+                log: self.log,
+                engine_stats: self.estats,
+            },
+            snapshot,
+        )
     }
 
     // ---------------------------------------------------------------------
@@ -331,6 +386,7 @@ impl Simulator {
                 }
                 let v = fnb[self.rng.random_range(0..fnb.len())].node;
                 if self.valid_target(u, v, now) {
+                    self.obs.incr(self.metrics.triadic_closures);
                     return Some(v);
                 }
             }
@@ -379,6 +435,9 @@ impl Simulator {
     fn send_request(&mut self, from: NodeId, to: NodeId, now: Timestamp) {
         debug_assert!(self.valid_target(from, to, now));
         self.requested.insert(pack(from, to));
+        self.obs.incr(self.metrics.requests_sent);
+        self.obs
+            .observe(self.metrics.requests_by_week, now.as_secs());
         let idx = self.log.push(RequestRecord {
             from,
             to,
@@ -410,6 +469,7 @@ impl Simulator {
         if self.graph.has_edge(r.from, r.to) {
             // Already friends (reverse request crossed); treat as confirmed.
             self.log.resolve(idx, RequestOutcome::Accepted(now));
+            self.obs.incr(self.metrics.requests_accepted);
             return;
         }
         let accept = if self.acct(r.to).is_sybil() {
@@ -420,11 +480,13 @@ impl Simulator {
         };
         if accept {
             self.log.resolve(idx, RequestOutcome::Accepted(now));
+            self.obs.incr(self.metrics.requests_accepted);
             self.graph
                 .add_edge(r.from, r.to, now)
                 .expect("has_edge checked above");
         } else {
             self.log.resolve(idx, RequestOutcome::Rejected(now));
+            self.obs.incr(self.metrics.requests_rejected);
         }
     }
 
@@ -477,6 +539,7 @@ impl Simulator {
                 * self.rng.random_range(0.7..1.3))
             .round()
             .max(1.0) as u32;
+            self.obs.incr(self.metrics.tool_batches);
         }
         // Tools mix "super node" friending (crawled popular targets) with
         // bulk friending of ordinary browsed users. They never request the

@@ -59,3 +59,10 @@ pub use tools::{ToolKind, ToolSpec};
 pub fn simulate(config: SimConfig) -> SimOutput {
     Simulator::new(config).run()
 }
+
+/// Run a full simulation and also return the engine's metric snapshot
+/// (see [`Simulator::run_observed`]). The snapshot holds only logical
+/// quantities, so it is as deterministic as the output itself.
+pub fn simulate_observed(config: SimConfig) -> (SimOutput, sybil_obs::Snapshot) {
+    Simulator::new(config).run_observed()
+}

@@ -1,74 +1,57 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale tiny|small|paper] [--seed N] [--out DIR] [EXPERIMENTS...]
+//! repro [FLAGS] [EXPERIMENTS...]
 //! ```
 //!
-//! `EXPERIMENTS` defaults to `all`; valid names: `fig1` … `fig9`,
-//! `table1` … `table3`, `defenses`. Results are printed as text and
-//! written under `--out` (default `results/`) as JSON.
+//! Arguments are parsed into a typed [`RunSpec`] (`--help` prints the
+//! full flag table and experiment list, rendered from the same spec the
+//! parser consumes). With `--metrics DIR`, every observed stage — the
+//! simulator and both serving engines — contributes to one deterministic
+//! `DIR/metrics.json`: the `logical` section is byte-identical across
+//! `RENREN_THREADS` and shard counts, while wall-clock quantities live in
+//! the segregated `wall` section.
 
-use std::path::PathBuf;
+use sybil_obs::Snapshot;
 use sybil_repro::{defenses, deployment, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
-use sybil_repro::{mixing, reach, serve, table1, table2, table3, zoo, Ctx, Scale};
+use sybil_repro::{help, mixing, parse_args, reach, serve, table1, table2, table3, zoo};
+use sybil_repro::{Ctx, RunSpec};
 use sybil_stats::export;
 
 fn main() {
-    let mut scale = Scale::Small;
-    let mut seed = 1u64;
-    let mut out_dir = PathBuf::from("results");
-    let mut experiments: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--scale" => {
-                let v = args.next().unwrap_or_default();
-                scale = Scale::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown scale {v:?}; use tiny|small|paper");
-                    std::process::exit(2);
-                });
-            }
-            "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seed needs an integer");
-                        std::process::exit(2);
-                    });
-            }
-            "--out" => {
-                out_dir = PathBuf::from(args.next().unwrap_or_else(|| "results".into()));
-            }
-            "--help" | "-h" => {
-                println!(
-                    "usage: repro [--scale tiny|small|paper] [--seed N] [--out DIR] \
-                     [fig1..fig9 table1..table3 zoo mixing deployment serve reach defenses | all]"
-                );
-                return;
-            }
-            other => experiments.push(other.to_string()),
+    let spec: RunSpec = match parse_args(std::env::args().skip(1)) {
+        Ok(spec) => spec,
+        Err(sybil_repro::CliError::HelpRequested) => {
+            println!("{}", help());
+            return;
         }
-    }
-    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
-        experiments = vec![
-            "fig1", "fig2", "fig3", "fig4", "table1", "fig5", "fig6", "table2", "fig7", "fig8",
-            "fig9", "table3", "zoo", "mixing", "deployment", "serve", "reach", "defenses",
-        ]
-        .into_iter()
-        .map(String::from)
-        .collect();
-    }
-
-    let per_class = match scale {
-        Scale::Tiny => 50,
-        Scale::Small => 250,
-        Scale::Paper => 1000,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", help());
+            std::process::exit(2);
+        }
     };
+    if let Some(t) = spec.threads {
+        // Must happen before any parallel work spins up worker pools.
+        std::env::set_var(osn_graph::par::THREADS_ENV, t.to_string());
+    }
 
-    eprintln!("simulating scale={scale} seed={seed} ...");
+    // The binary is the one place a real clock is constructed (libraries
+    // take an injected `Clock`; lint D002 enforces that split).
+    let epoch = std::time::Instant::now();
+    let clock = move || epoch.elapsed().as_secs_f64();
+    let mut master: Option<Snapshot> = spec.metrics_dir.as_ref().map(|_| Snapshot::default());
+
+    eprintln!("simulating scale={} seed={} ...", spec.scale, spec.seed);
     let t0 = std::time::Instant::now();
-    let ctx = Ctx::build(scale, seed);
+    let ctx = if master.is_some() {
+        let (out, sim_snap) = osn_sim::simulate_observed(spec.scale.config(spec.seed));
+        if let Some(m) = master.as_mut() {
+            m.absorb(&sim_snap.prefixed("sim"));
+        }
+        Ctx::from_output(out, spec.scale, spec.seed)
+    } else {
+        Ctx::build(spec.scale, spec.seed)
+    };
     let stats = ctx.out.stats();
     eprintln!(
         "simulated {} accounts / {} requests / {} edges in {:.1}s \
@@ -82,7 +65,7 @@ fn main() {
         stats.banned
     );
 
-    let dir = out_dir.join(format!("{scale}-seed{seed}"));
+    let dir = spec.run_dir();
     let save = |name: &str, json: &dyn erased::Json, text: &str| {
         println!("{text}");
         println!("{}", "=".repeat(78));
@@ -94,7 +77,8 @@ fn main() {
         }
     };
 
-    for e in &experiments {
+    let per_class = spec.per_class();
+    for e in &spec.experiments {
         let t = std::time::Instant::now();
         match e.as_str() {
             "fig1" => {
@@ -154,30 +138,37 @@ fn main() {
                 save("mixing", &r, &r.render());
             }
             "deployment" => {
-                let r = deployment::run(&ctx, per_class);
+                let r = deployment::run(&ctx, &spec);
                 save("deployment", &r, &r.render());
             }
             "serve" => {
-                let r = serve::run(&ctx, per_class);
+                let r = if let Some(m) = master.as_mut() {
+                    let (r, snap) = serve::run_observed(&ctx, &spec, &clock);
+                    m.absorb(&snap);
+                    r
+                } else {
+                    serve::run(&ctx, &spec)
+                };
                 save("serve", &r, &r.render());
             }
             "reach" => {
-                let trials = if matches!(scale, Scale::Paper) { 20 } else { 50 };
-                let r = reach::run(&ctx, trials);
+                let r = reach::run(&ctx, spec.reach_trials());
                 save("reach", &r, &r.render());
             }
             "defenses" => {
-                let suspects = match scale {
-                    Scale::Tiny => 15,
-                    Scale::Small => 30,
-                    Scale::Paper => 40,
-                };
-                let r = defenses::run(&ctx, suspects);
+                let r = defenses::run(&ctx, &spec);
                 save("defenses", &r, &r.render());
             }
             other => eprintln!("unknown experiment {other:?} (skipped)"),
         }
         eprintln!("[{e} done in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    if let (Some(metrics_dir), Some(m)) = (spec.metrics_dir.as_ref(), master.as_ref()) {
+        let path = metrics_dir.join("metrics.json");
+        match export::write_json(&path, m) {
+            Ok(()) => eprintln!("metrics written to {}", path.display()),
+            Err(e) => eprintln!("warning: could not write metrics.json: {e}"),
+        }
     }
     eprintln!("results written under {}", dir.display());
 }

@@ -8,6 +8,7 @@
 //! paper's claim is the contrast: high Sybil acceptance in the wild, low
 //! on the synthetic graph.
 
+use crate::runspec::RunSpec;
 use crate::scenario::Ctx;
 use osn_graph::{NodeId, TemporalGraph};
 use rand::prelude::*;
@@ -55,8 +56,10 @@ fn pick_active<R: Rng + RngExt + ?Sized>(
     pool
 }
 
-/// Run every defense on both graphs with `suspects` suspects per class.
-pub fn run(ctx: &Ctx, suspects: usize) -> Defenses {
+/// Run every defense on both graphs, with the suspect count per class
+/// taken from the run's [`RunSpec::suspects`].
+pub fn run(ctx: &Ctx, spec: &RunSpec) -> Defenses {
+    let suspects = spec.suspects();
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xDEF);
     // --- wild graph setup -------------------------------------------------
     let g = &ctx.out.graph;
@@ -205,7 +208,7 @@ mod tests {
     #[test]
     fn wild_topology_defeats_defenses() {
         let ctx = Ctx::build(Scale::Tiny, 11);
-        let d = run(&ctx, 15);
+        let d = run(&ctx, &RunSpec::builder().scale(Scale::Tiny).build());
         assert_eq!(d.rows.len(), 5);
         assert!(
             d.mean_wild_acceptance() > d.mean_injected_acceptance() + 0.15,

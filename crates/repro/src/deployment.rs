@@ -7,6 +7,7 @@
 //! catch rate, false positives, and detection latency.
 
 use crate::fig1::ground_truth_sample;
+use crate::runspec::RunSpec;
 use crate::scenario::Ctx;
 use crate::serve::fmt_catch_rate;
 use serde::{Deserialize, Serialize};
@@ -32,8 +33,8 @@ pub struct Deployment {
 }
 
 /// Run the experiment.
-pub fn run(ctx: &Ctx, per_class: usize) -> Deployment {
-    let ds = ground_truth_sample(ctx, per_class);
+pub fn run(ctx: &Ctx, spec: &RunSpec) -> Deployment {
+    let ds = ground_truth_sample(ctx, spec.per_class());
     let rule = ThresholdClassifier::calibrate(&ds);
     // The sharded engine produces the same report byte-for-byte (see the
     // `serve` experiment, which checks exactly that) but walks the stream
@@ -45,8 +46,11 @@ pub fn run(ctx: &Ctx, per_class: usize) -> Deployment {
             adaptive,
             ..RealtimeConfig::default()
         };
-        serve(&ctx.out, &ServeConfig::for_detect(detect))
-            .unwrap_or_else(|_| replay(&ctx.out, &detect))
+        let mut cfg = ServeConfig::for_detect(detect);
+        if spec.shards != 0 {
+            cfg.shards = spec.shards;
+        }
+        serve(&ctx.out, &cfg).unwrap_or_else(|_| replay(&ctx.out, &detect))
     };
     let static_report = run_variant(false);
     let adaptive_report = run_variant(true);
@@ -134,7 +138,7 @@ mod tests {
     #[test]
     fn both_variants_catch_most_sybils_cheaply() {
         let ctx = Ctx::build(Scale::Tiny, 11);
-        let d = run(&ctx, 50);
+        let d = run(&ctx, &RunSpec::builder().scale(Scale::Tiny).build());
         assert!(!d.detections_per_window.is_empty());
         let total: usize = d.detections_per_window.iter().map(|&(_, c)| c).sum();
         assert_eq!(total, d.adaptive_report.detections.len());

@@ -43,6 +43,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod runspec;
 pub mod scenario;
 pub mod serve;
 pub mod mixing;
@@ -52,4 +53,5 @@ pub mod table2;
 pub mod table3;
 pub mod zoo;
 
+pub use runspec::{help, parse_args, CliError, RunSpec};
 pub use scenario::{Ctx, Scale};

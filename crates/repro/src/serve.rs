@@ -8,12 +8,14 @@
 //! checked on real simulated streams at every scale.
 
 use crate::fig1::ground_truth_sample;
+use crate::runspec::RunSpec;
 use crate::scenario::Ctx;
 use osn_graph::par;
 use serde::{Deserialize, Serialize};
-use sybil_core::realtime::{replay, DeploymentReport, RealtimeConfig};
+use sybil_core::realtime::{replay, replay_observed, DeploymentReport, RealtimeConfig};
 use sybil_core::ThresholdClassifier;
-use sybil_serve::{serve, ServeConfig};
+use sybil_obs::{Registry, Snapshot};
+use sybil_serve::{serve, serve_observed, ServeConfig};
 use sybil_stats::table::Table;
 
 /// Result of the sharded serving experiment.
@@ -38,14 +40,40 @@ pub struct ServeRun {
 
 /// Run the experiment. The sharded engine is the product; the sequential
 /// replay is kept only as the equivalence oracle.
-pub fn run(ctx: &Ctx, per_class: usize) -> ServeRun {
-    let ds = ground_truth_sample(ctx, per_class);
+pub fn run(ctx: &Ctx, spec: &RunSpec) -> ServeRun {
+    run_inner(ctx, spec, None).0
+}
+
+/// [`run`] with metrics: both engines run through their observed entry
+/// points, and the returned [`Snapshot`] carries four namespaces —
+/// `serve.static`, `serve.adaptive`, `replay.static`, `replay.adaptive`.
+/// The `clock` feeds only wall spans; every logical metric stays
+/// byte-identical across thread and shard counts. The clock is injected
+/// because this is library code (lint D002 forbids reading one here);
+/// the `repro` binary constructs the real clock.
+pub fn run_observed(ctx: &Ctx, spec: &RunSpec, clock: sybil_obs::Clock<'_>) -> (ServeRun, Snapshot) {
+    let (run, snap) = run_inner(ctx, spec, Some(clock));
+    (run, snap.unwrap_or_default())
+}
+
+fn run_inner(
+    ctx: &Ctx,
+    spec: &RunSpec,
+    observe: Option<sybil_obs::Clock<'_>>,
+) -> (ServeRun, Option<Snapshot>) {
+    let ds = ground_truth_sample(ctx, spec.per_class());
     let rule = ThresholdClassifier::calibrate(&ds);
     let epoch_hours = 48;
-    let shards = par::num_threads().max(1);
+    let shards = if spec.shards == 0 {
+        par::num_threads().max(1)
+    } else {
+        spec.shards
+    };
     let mut reports = Vec::new();
     let mut matches = Vec::new();
+    let mut master = observe.map(|_| Snapshot::default());
     for adaptive in [false, true] {
+        let variant = if adaptive { "adaptive" } else { "static" };
         let detect = RealtimeConfig {
             rule,
             adaptive,
@@ -56,13 +84,31 @@ pub fn run(ctx: &Ctx, per_class: usize) -> ServeRun {
             epoch_hours,
             detect,
         };
-        let report = match serve(&ctx.out, &cfg) {
-            Ok(r) => r,
-            // Serving constraints (e.g. zero feedback delay) fall back to
-            // the sequential engine rather than failing the experiment.
-            Err(_) => replay(&ctx.out, &detect),
+        let (report, sequential) = match observe {
+            Some(clock) => {
+                let mut sreg = Registry::new();
+                let report = match serve_observed(&ctx.out, &cfg, clock, &mut sreg) {
+                    Ok((r, _)) => r,
+                    // Serving constraints (e.g. zero feedback delay) fall
+                    // back to the sequential engine rather than failing.
+                    Err(_) => replay(&ctx.out, &detect),
+                };
+                let mut rreg = Registry::new();
+                let sequential = replay_observed(&ctx.out, &detect, &mut rreg, Some(clock));
+                if let Some(m) = master.as_mut() {
+                    m.absorb(&sreg.snapshot().prefixed(&format!("serve.{variant}")));
+                    m.absorb(&rreg.snapshot().prefixed(&format!("replay.{variant}")));
+                }
+                (report, sequential)
+            }
+            None => {
+                let report = match serve(&ctx.out, &cfg) {
+                    Ok(r) => r,
+                    Err(_) => replay(&ctx.out, &detect),
+                };
+                (report, replay(&ctx.out, &detect))
+            }
         };
-        let sequential = replay(&ctx.out, &detect);
         matches.push(
             serde_json::to_string(&report).ok() == serde_json::to_string(&sequential).ok(),
         );
@@ -70,15 +116,18 @@ pub fn run(ctx: &Ctx, per_class: usize) -> ServeRun {
     }
     let adaptive_report = reports.pop().unwrap_or_default();
     let static_report = reports.pop().unwrap_or_default();
-    ServeRun {
-        rule,
-        shards,
-        epoch_hours,
-        static_report,
-        adaptive_report,
-        matches_replay_static: matches[0],
-        matches_replay_adaptive: matches[1],
-    }
+    (
+        ServeRun {
+            rule,
+            shards,
+            epoch_hours,
+            static_report,
+            adaptive_report,
+            matches_replay_static: matches[0],
+            matches_replay_adaptive: matches[1],
+        },
+        master,
+    )
 }
 
 /// Format a catch rate, which is NaN when no Sybil was eligible.
@@ -136,11 +185,38 @@ mod tests {
     #[test]
     fn sharded_run_matches_sequential_replay() {
         let ctx = Ctx::build(Scale::Tiny, 11);
-        let r = run(&ctx, 50);
+        let spec = RunSpec::builder().scale(Scale::Tiny).build();
+        let r = run(&ctx, &spec);
         assert!(r.matches_replay_static);
         assert!(r.matches_replay_adaptive);
         assert!(r.shards >= 1);
         assert!(r.render().contains("Sharded serving replay"));
+    }
+
+    /// The observed run must produce the identical report, and its
+    /// logical metrics must agree between the sharded engine and the
+    /// sequential oracle on the shared keys.
+    #[test]
+    fn observed_run_matches_and_aligns_engines() {
+        let ctx = Ctx::build(Scale::Tiny, 11);
+        let spec = RunSpec::builder().scale(Scale::Tiny).shards(2).build();
+        let (r, snap) = run_observed(&ctx, &spec, &|| 0.0);
+        assert!(r.matches_replay_static && r.matches_replay_adaptive);
+        for variant in ["static", "adaptive"] {
+            for key in [
+                "events_processed",
+                "checks_run",
+                "detections",
+                "features_computed",
+                "feedback_applied",
+                "audits_sampled",
+            ] {
+                let serve_v = snap.logical.get(&format!("serve.{variant}.{key}"));
+                let replay_v = snap.logical.get(&format!("replay.{variant}.{key}"));
+                assert!(serve_v.is_some(), "missing serve.{variant}.{key}");
+                assert_eq!(serve_v, replay_v, "engines disagree on {variant}.{key}");
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::report::Finding;
 /// One reviewed exception.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Rule code the entry silences (`D001`…`D006`, `S101`…`S105`).
+    /// Rule code the entry silences (`D001`…`D006`, `S101`…`S107`).
     pub rule: String,
     /// Workspace-relative path the entry applies to.
     pub path: String,
@@ -52,8 +52,58 @@ impl Allowlist {
     }
 }
 
+/// Why `lint.toml` could not be parsed. Both variants carry a 1-based
+/// line number so callers can render `file:line` diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line that isn't valid on its own (bad key, bad string, unknown
+    /// table…).
+    Line {
+        /// The offending line.
+        line: usize,
+        /// What went wrong there.
+        message: String,
+    },
+    /// An `[[allow]]` entry that ended incomplete or invalid.
+    Entry {
+        /// The line the entry ends at.
+        end_line: usize,
+        /// What the entry is missing or violating.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Line { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Entry { end_line, message } => {
+                write!(f, "entry ending at line {end_line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl ParseError {
+    fn at(line: usize, message: impl Into<String>) -> ParseError {
+        ParseError::Line {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn entry(end_line: usize, message: impl Into<String>) -> ParseError {
+        ParseError::Entry {
+            end_line,
+            message: message.into(),
+        }
+    }
+}
+
 /// Parse `lint.toml` content. Errors carry the offending line number.
-pub fn parse(content: &str) -> Result<Allowlist, String> {
+pub fn parse(content: &str) -> Result<Allowlist, ParseError> {
     let mut entries: Vec<AllowEntry> = Vec::new();
     let mut cur: Option<PartialEntry> = None;
     for (i, raw) in content.lines().enumerate() {
@@ -73,17 +123,22 @@ pub fn parse(content: &str) -> Result<Allowlist, String> {
             continue;
         }
         if line.starts_with('[') {
-            return Err(format!(
-                "line {lineno}: unknown table {line:?} (only [[allow]] is supported)"
+            return Err(ParseError::at(
+                lineno,
+                format!("unknown table {line:?} (only [[allow]] is supported)"),
             ));
         }
         let Some((key, value)) = line.split_once('=') else {
-            return Err(format!("line {lineno}: expected `key = value`, got {line:?}"));
+            return Err(ParseError::at(
+                lineno,
+                format!("expected `key = value`, got {line:?}"),
+            ));
         };
         let (key, value) = (key.trim(), value.trim());
         let Some(p) = cur.as_mut() else {
-            return Err(format!(
-                "line {lineno}: key {key:?} outside an [[allow]] table"
+            return Err(ParseError::at(
+                lineno,
+                format!("key {key:?} outside an [[allow]] table"),
             ));
         };
         match key {
@@ -92,12 +147,16 @@ pub fn parse(content: &str) -> Result<Allowlist, String> {
             "justification" => p.justification = Some(parse_string(value, lineno)?),
             "line" => {
                 p.line = Some(value.parse::<u32>().map_err(|_| {
-                    format!("line {lineno}: `line` must be an integer, got {value:?}")
+                    ParseError::at(
+                        lineno,
+                        format!("`line` must be an integer, got {value:?}"),
+                    )
                 })?)
             }
             _ => {
-                return Err(format!(
-                    "line {lineno}: unknown key {key:?} (allowed: rule, path, line, justification)"
+                return Err(ParseError::at(
+                    lineno,
+                    format!("unknown key {key:?} (allowed: rule, path, line, justification)"),
                 ))
             }
         }
@@ -119,25 +178,26 @@ struct PartialEntry {
 }
 
 impl PartialEntry {
-    fn finish(self, lineno: usize) -> Result<AllowEntry, String> {
+    fn finish(self, lineno: usize) -> Result<AllowEntry, ParseError> {
         let rule = self
             .rule
-            .ok_or_else(|| format!("entry ending at line {lineno}: missing `rule`"))?;
+            .ok_or_else(|| ParseError::entry(lineno, "missing `rule`"))?;
         if !crate::rules::is_known_rule(&rule) {
-            return Err(format!(
-                "entry ending at line {lineno}: unknown rule {rule:?}"
-            ));
+            return Err(ParseError::entry(lineno, format!("unknown rule {rule:?}")));
         }
         let path = self
             .path
-            .ok_or_else(|| format!("entry ending at line {lineno}: missing `path`"))?;
-        let justification = self.justification.ok_or_else(|| {
-            format!("entry ending at line {lineno}: missing `justification`")
-        })?;
+            .ok_or_else(|| ParseError::entry(lineno, "missing `path`"))?;
+        let justification = self
+            .justification
+            .ok_or_else(|| ParseError::entry(lineno, "missing `justification`"))?;
         if justification.trim().len() < 15 {
-            return Err(format!(
-                "entry ending at line {lineno}: justification {justification:?} is too \
-                 short — explain *why* the exception is sound (≥ 15 chars)"
+            return Err(ParseError::entry(
+                lineno,
+                format!(
+                    "justification {justification:?} is too short — explain *why* the \
+                     exception is sound (≥ 15 chars)"
+                ),
             ));
         }
         Ok(AllowEntry {
@@ -221,11 +281,12 @@ fn strip_comment(line: &str) -> &str {
 }
 
 /// Parse a double-quoted TOML string with basic escapes.
-fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+fn parse_string(value: &str, lineno: usize) -> Result<String, ParseError> {
     let v = value.trim();
     if v.len() < 2 || !v.starts_with('"') || !v.ends_with('"') {
-        return Err(format!(
-            "line {lineno}: expected a double-quoted string, got {value:?}"
+        return Err(ParseError::at(
+            lineno,
+            format!("expected a double-quoted string, got {value:?}"),
         ));
     }
     let inner = &v[1..v.len() - 1];
@@ -239,12 +300,15 @@ fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
                 Some('n') => out.push('\n'),
                 Some('t') => out.push('\t'),
                 Some(other) => {
-                    return Err(format!("line {lineno}: unsupported escape `\\{other}`"))
+                    return Err(ParseError::at(
+                        lineno,
+                        format!("unsupported escape `\\{other}`"),
+                    ))
                 }
-                None => return Err(format!("line {lineno}: dangling escape")),
+                None => return Err(ParseError::at(lineno, "dangling escape")),
             }
         } else if c == '"' {
-            return Err(format!("line {lineno}: unescaped quote inside string"));
+            return Err(ParseError::at(lineno, "unescaped quote inside string"));
         } else {
             out.push(c);
         }
@@ -297,7 +361,8 @@ justification = "index comes from the same vec's enumerate()"
     #[test]
     fn rejects_missing_justification() {
         let err = parse("[[allow]]\nrule = \"D001\"\npath = \"x.rs\"\n").unwrap_err();
-        assert!(err.contains("missing `justification`"), "{err}");
+        assert!(matches!(err, ParseError::Entry { end_line: 3, .. }), "{err}");
+        assert!(err.to_string().contains("missing `justification`"), "{err}");
     }
 
     #[test]
@@ -306,7 +371,20 @@ justification = "index comes from the same vec's enumerate()"
             "[[allow]]\nrule = \"D001\"\npath = \"x.rs\"\njustification = \"because\"\n",
         )
         .unwrap_err();
-        assert!(err.contains("too"), "{err}");
+        assert!(err.to_string().contains("too"), "{err}");
+    }
+
+    #[test]
+    fn line_errors_carry_their_location() {
+        let err = parse("[[allow]]\nrule = unquoted\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::Line {
+                line: 2,
+                message: "expected a double-quoted string, got \"unquoted\"".into()
+            }
+        );
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub const ALL_RULES: [&str; 6] = ["D001", "D002", "D003", "D004", "D005", "D006"
 
 /// All semantic (call-graph) rule codes, in order. These run only with
 /// `--workspace`, because they need every file to resolve calls.
-pub const SEM_RULES: [&str; 6] = ["S101", "S102", "S103", "S104", "S105", "S106"];
+pub const SEM_RULES: [&str; 7] = ["S101", "S102", "S103", "S104", "S105", "S106", "S107"];
 
 /// Is `code` any rule this tool knows (token or semantic)?
 pub fn is_known_rule(code: &str) -> bool {
@@ -64,6 +64,7 @@ pub fn rule_summary(code: &str) -> &'static str {
         "S104" => "dead export: pub item unused by any bin, test, bench, example, or other crate",
         "S105" => "stale lint.toml allowlist entry (matched nothing this run)",
         "S106" => "unbounded channel constructor outside sybil-serve's bounded queue module",
+        "S107" => "stringly-typed error API: pub Result<_, String> or process::exit in a library",
         _ => "unknown rule",
     }
 }
@@ -136,6 +137,18 @@ pub fn rule_explanation(code: &str) -> Option<&'static str> {
                    provably sends a fixed number of messages — allowlist the site in \
                    lint.toml and state that message-count bound in the justification. Only \
                    crates/sybil-serve/src/queue.rs, the reviewed staging surface, is exempt.",
+        "S107" => "S107 — stringly-typed error APIs\n\nA pub fn returning Result<_, String> \
+                   hands callers an error they can only string-match or rewrap: no variants \
+                   to match on, no source chain, and every formatting tweak is a silent API \
+                   break. Return a typed error (the workspace's shared variants live in \
+                   sybil_core::Error; crate-local enums like osn_graph::GraphError are \
+                   equally fine) and keep the prose in its Display impl.\n\nThe second shape \
+                   is the same contract violated at the call site: library code settling a \
+                   Result/Option with unwrap_or_else(… process::exit …) kills the process \
+                   where no caller can intercept it — under a worker pool that strands the \
+                   sibling threads mid-epoch. Binaries own the exit code; libraries return \
+                   the error. Only `pub fn` signatures are checked (pub(crate) surface is \
+                   internal), and binaries may exit — shape (b) fires on library files only.",
         _ => return None,
     })
 }

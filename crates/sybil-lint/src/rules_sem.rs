@@ -1,5 +1,5 @@
-//! The semantic S-series rules (S101–S104, S106) over the workspace
-//! model.
+//! The semantic S-series rules (S101–S104, S106, S107) over the
+//! workspace model.
 //!
 //! Unlike the token rules (D001–D006), which judge one file at a time,
 //! these rules need the whole-workspace [`WorkspaceModel`] and
@@ -18,7 +18,7 @@ use crate::report::Finding;
 use crate::rules::{test_line_spans_for, FileKind};
 use crate::symbols::{FnIdx, WorkspaceModel};
 
-/// Run S101–S106, returning findings sorted by (path, line, col, rule).
+/// Run S101–S107, returning findings sorted by (path, line, col, rule).
 pub fn check_workspace(model: &WorkspaceModel) -> Vec<Finding> {
     let cg = CallGraph::build(model);
     let mut out = Vec::new();
@@ -27,6 +27,7 @@ pub fn check_workspace(model: &WorkspaceModel) -> Vec<Finding> {
     s103_par_captures(model, &mut out);
     s104_dead_exports(model, &mut out);
     s106_unbounded_channels(model, &mut out);
+    s107_stringly_errors(model, &mut out);
     out.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
     });
@@ -429,4 +430,184 @@ fn s106_unbounded_channels(model: &WorkspaceModel, out: &mut Vec<Finding>) {
             });
         }
     }
+}
+
+/// S107: stringly-typed error API. Two shapes: (a) a `pub fn` whose
+/// return type is `Result<_, String>` — the error carries no structure,
+/// so callers can only string-match or rewrap (the workspace's typed
+/// errors live in `sybil_core::Error`); (b) library code settling an
+/// error with `unwrap_or_else(… process::exit …)`, which turns a
+/// recoverable condition into a silent process death the caller cannot
+/// intercept (binaries own their exit codes; libraries return errors).
+fn s107_stringly_errors(model: &WorkspaceModel, out: &mut Vec<Finding>) {
+    for file in &model.files {
+        if file.kind == FileKind::Test {
+            continue;
+        }
+        let src = file.src.as_str();
+        let toks = lex(src);
+        let spans = test_line_spans_for(src);
+        let in_test = |line: u32| spans.iter().any(|&(a, b)| line >= a && line <= b);
+
+        // (a) `pub fn … -> Result<_, String>`, in libraries and binaries
+        // alike — a pub signature is API surface either way. Restricted
+        // visibility (`pub(crate)` …) is internal and exempt.
+        for i in 0..toks.len() {
+            if !toks[i].is_ident(src, "pub") || in_test(toks[i].line) {
+                continue;
+            }
+            let Some(fn_tok) = toks.get(i + 1) else { break };
+            if !fn_tok.is_ident(src, "fn") {
+                continue;
+            }
+            let Some(name_tok) = toks.get(i + 2) else { break };
+            let fn_name = name_tok.text(src);
+            if let Some(res_tok) = stringly_result_in_return(src, &toks, i + 3) {
+                out.push(Finding {
+                    rule: "S107",
+                    path: file.rel.clone(),
+                    line: res_tok.line,
+                    col: res_tok.col,
+                    message: format!(
+                        "pub fn `{fn_name}` returns Result<_, String>; a string error \
+                         cannot be matched on and carries no source — return a typed \
+                         error (see sybil_core::Error) and keep prose in Display"
+                    ),
+                    snippet: line_text(src, res_tok.line),
+                    trace: vec![format!(
+                        "`{fn_name}` declares a stringly-typed error at {}:{}; callers \
+                         can only string-match or rewrap it",
+                        file.rel, res_tok.line
+                    )],
+                });
+            }
+        }
+
+        // (b) `unwrap_or_else(… process::exit …)` in library code only —
+        // binaries legitimately own the process exit.
+        if file.kind != FileKind::Lib {
+            continue;
+        }
+        for (i, t) in toks.iter().enumerate() {
+            if !t.is_ident(src, "unwrap_or_else") || in_test(t.line) {
+                continue;
+            }
+            if !toks.get(i + 1).is_some_and(|n| n.is_punct(b'(')) {
+                continue;
+            }
+            if call_args_invoke_process_exit(src, &toks, i + 2) {
+                out.push(Finding {
+                    rule: "S107",
+                    path: file.rel.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: "library code exits the process inside `unwrap_or_else`; \
+                              return the error and let the binary choose the exit code"
+                        .to_string(),
+                    snippet: line_text(src, t.line),
+                    trace: vec![format!(
+                        "`unwrap_or_else` at {}:{} reaches `process::exit`, killing the \
+                         process from library code no caller can intercept",
+                        file.rel, t.line
+                    )],
+                });
+            }
+        }
+    }
+}
+
+/// Does the fn signature starting at token `start` (just past the fn
+/// name) return `Result<_, String>`? Returns the `Result` token when so.
+fn stringly_result_in_return<'t>(
+    src: &str,
+    toks: &'t [crate::lexer::Token],
+    start: usize,
+) -> Option<&'t crate::lexer::Token> {
+    // Find `->` at paren depth 0, stopping at the body or a `;`.
+    let mut paren = 0i32;
+    let mut j = start;
+    let arrow = loop {
+        let t = toks.get(j)?;
+        if t.is_punct(b'(') {
+            paren += 1;
+        } else if t.is_punct(b')') {
+            paren -= 1;
+        } else if paren == 0 && (t.is_punct(b'{') || t.is_punct(b';')) {
+            return None; // no return type
+        } else if paren == 0
+            && t.is_punct(b'-')
+            && toks.get(j + 1).is_some_and(|n| n.is_punct(b'>'))
+        {
+            break j + 2;
+        }
+        j += 1;
+    };
+    // Within the return type, find `Result <` and walk its generic args.
+    let mut k = arrow;
+    while let Some(t) = toks.get(k) {
+        if t.is_punct(b'{') || t.is_punct(b';') || t.is_ident(src, "where") {
+            return None;
+        }
+        if t.is_ident(src, "Result") && toks.get(k + 1).is_some_and(|n| n.is_punct(b'<')) {
+            let mut depth = 1i32;
+            let mut m = k + 2;
+            while let Some(t) = toks.get(m) {
+                // An `->` inside the generics belongs to an fn type; its
+                // `>` is not a closing angle bracket.
+                if t.is_punct(b'-') && toks.get(m + 1).is_some_and(|n| n.is_punct(b'>')) {
+                    m += 2;
+                    continue;
+                }
+                if t.is_punct(b'<') {
+                    depth += 1;
+                } else if t.is_punct(b'>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return None; // generics closed without a String error
+                    }
+                } else if t.is_punct(b',') && depth == 1 {
+                    // The error parameter: flag exactly `String >`.
+                    if toks.get(m + 1).is_some_and(|n| n.is_ident(src, "String"))
+                        && toks.get(m + 2).is_some_and(|n| n.is_punct(b'>'))
+                    {
+                        return Some(&toks[k]);
+                    }
+                    return None;
+                }
+                m += 1;
+            }
+            return None;
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Does the call-argument span opening at token `start` (just past the
+/// `(`) contain a `process :: exit` invocation?
+fn call_args_invoke_process_exit(
+    src: &str,
+    toks: &[crate::lexer::Token],
+    start: usize,
+) -> bool {
+    let mut depth = 1i32;
+    let mut j = start;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct(b'(') {
+            depth += 1;
+        } else if t.is_punct(b')') {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else if t.is_ident(src, "process")
+            && toks.get(j + 1).is_some_and(|n| n.is_punct(b':'))
+            && toks.get(j + 2).is_some_and(|n| n.is_punct(b':'))
+            && toks.get(j + 3).is_some_and(|n| n.is_ident(src, "exit"))
+        {
+            return true;
+        }
+        j += 1;
+    }
+    false
 }

@@ -1,0 +1,38 @@
+//! S107 bad fixture: a stringly-typed pub signature and a library-side
+//! process::exit; the private helper and the Ok-side String are clean.
+#![forbid(unsafe_code)]
+
+/// Parses a level — but callers can only string-match the error.
+pub fn parse_level(raw: &str) -> Result<u8, String> {
+    raw.parse::<u8>().map_err(|e| format!("bad level: {e}"))
+}
+
+/// The Ok side may be a String; only the error position is stringly.
+pub fn render_name(id: u8) -> Result<String, u8> {
+    if id == 0 {
+        Err(id)
+    } else {
+        Ok(format!("node{id}"))
+    }
+}
+
+// Private signatures are not API surface.
+fn helper(raw: &str) -> Result<u8, String> {
+    raw.parse::<u8>().map_err(|_| "nope".to_string())
+}
+
+/// Settles the error by killing the process — from library code.
+pub fn load_or_die(raw: &str) -> u8 {
+    helper(raw).unwrap_or_else(|_| std::process::exit(2))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_helpers_may_be_stringly() {
+        pub fn scratch(raw: &str) -> Result<u8, String> {
+            raw.parse::<u8>().map_err(|_| "x".to_string())
+        }
+        assert!(scratch("3").is_ok());
+    }
+}

@@ -1,0 +1,7 @@
+//! Names the fixture's public surface so S104 stays quiet.
+
+fn _exercise() {
+    let _ = s107_bad::parse_level("3");
+    let _ = s107_bad::render_name(1);
+    let _ = s107_bad::load_or_die("3");
+}

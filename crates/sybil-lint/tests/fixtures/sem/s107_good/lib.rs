@@ -1,0 +1,40 @@
+//! S107 good fixture: the same surface with a typed error, the exit
+//! settled by returning the error, and pub(crate) internals exempt.
+#![forbid(unsafe_code)]
+
+/// A typed error callers can match on.
+#[derive(Debug)]
+pub enum LevelError {
+    /// The input was not a number.
+    NotANumber,
+}
+
+impl std::fmt::Display for LevelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "not a number")
+    }
+}
+
+/// Parses a level with a matchable error.
+pub fn parse_level(raw: &str) -> Result<u8, LevelError> {
+    raw.parse::<u8>().map_err(|_| LevelError::NotANumber)
+}
+
+/// Errors propagate; the binary decides what an error costs.
+pub fn load(raw: &str) -> Result<u8, LevelError> {
+    let lvl = parse_level(raw)?;
+    Ok(lvl.saturating_add(1))
+}
+
+// Restricted visibility is internal surface, not API.
+pub(crate) fn internal(raw: &str) -> Result<u8, String> {
+    raw.parse::<u8>().map_err(|_| "internal only".to_string())
+}
+
+/// A fallback value (not an exit) is a fine way to settle an error.
+pub fn load_or_default(raw: &str) -> u8 {
+    load(raw).unwrap_or_else(|_| {
+        let _ = internal("0");
+        0
+    })
+}

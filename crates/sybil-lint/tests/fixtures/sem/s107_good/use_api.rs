@@ -1,0 +1,8 @@
+//! Names the fixture's public surface so S104 stays quiet.
+
+fn _exercise() {
+    let _ = s107_good::parse_level("3");
+    let _ = s107_good::load("3");
+    let _ = s107_good::load_or_default("3");
+    let _ = s107_good::LevelError::NotANumber;
+}

@@ -272,11 +272,64 @@ fn s106_good_queue_module_is_exempt() {
 }
 
 // ---------------------------------------------------------------------
+// S107: stringly-typed error APIs and library-side process exits.
+
+#[test]
+fn s107_bad_reports_string_error_and_library_exit() {
+    // `parse_level` returns Result<_, String> and `load_or_die` settles
+    // an error with process::exit; the private helper, the Ok-side
+    // String, and the #[cfg(test)] fn are all clean.
+    let f = sem_findings("s107_bad", ONE_FILE);
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(f.iter().all(|v| v.rule == "S107"));
+    assert!(f.iter().all(|v| v.path == "crates/s107_bad/src/lib.rs"));
+    assert_eq!((f[0].line, f[1].line), (6, 26), "{f:#?}");
+    assert_eq!(
+        f[0].message,
+        "pub fn `parse_level` returns Result<_, String>; a string error \
+         cannot be matched on and carries no source — return a typed \
+         error (see sybil_core::Error) and keep prose in Display"
+    );
+    assert_eq!(
+        f[0].trace,
+        vec![
+            "`parse_level` declares a stringly-typed error at \
+             crates/s107_bad/src/lib.rs:6; callers can only string-match or rewrap it"
+                .to_string()
+        ],
+        "{f:#?}"
+    );
+    assert_eq!(
+        f[1].message,
+        "library code exits the process inside `unwrap_or_else`; \
+         return the error and let the binary choose the exit code"
+    );
+    assert_eq!(
+        f[1].trace,
+        vec![
+            "`unwrap_or_else` at crates/s107_bad/src/lib.rs:26 reaches \
+             `process::exit`, killing the process from library code no caller \
+             can intercept"
+                .to_string()
+        ],
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn s107_good_typed_errors_are_clean() {
+    // Typed errors, pub(crate) internals, and a value fallback inside
+    // unwrap_or_else raise nothing.
+    let f = sem_findings("s107_good", ONE_FILE);
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+// ---------------------------------------------------------------------
 // Rule registry: the S-codes are first-class for allowlist validation.
 
 #[test]
 fn s_codes_are_known_rules() {
-    for code in ["S101", "S102", "S103", "S104", "S105", "S106", "D001", "D006"] {
+    for code in ["S101", "S102", "S103", "S104", "S105", "S106", "S107", "D001", "D006"] {
         assert!(sybil_lint::rules::is_known_rule(code), "{code}");
     }
     assert!(!sybil_lint::rules::is_known_rule("S999"));

@@ -33,7 +33,7 @@ use crate::shard::{ShardState, TaggedDetection, TaggedFeedback};
 use osn_graph::par;
 use osn_sim::stream::{EventStream, StreamEvent};
 use osn_sim::SimOutput;
-use sybil_core::realtime::{DeploymentReport, RealtimeConfig};
+use sybil_core::realtime::{DeploymentReport, RealtimeConfig, ReplayCounters};
 
 /// Configuration of the sharded serving engine.
 #[derive(Clone, Copy, Debug)]
@@ -136,6 +136,33 @@ pub fn serve_timed(
     cfg: &ServeConfig,
     clock: Clock<'_>,
 ) -> Result<(DeploymentReport, ServeStats), ServeError> {
+    serve_inner(out, cfg, clock, None)
+}
+
+/// [`serve_timed`] with metrics: shard work tallies (drained at each
+/// epoch barrier in shard-id order) land in `obs`'s *logical* section
+/// under the same keys as the sequential `replay_observed` — and with
+/// equal values, at every shard and thread count. Per-shard quantities
+/// (staging-queue high-water marks, per-shard check counts) land in the
+/// *sharded* section keyed `shard{N}.{name}`; per-epoch wall timing (from
+/// the injected clock) in the `epoch` span.
+pub fn serve_observed(
+    out: &SimOutput,
+    cfg: &ServeConfig,
+    clock: Clock<'_>,
+    obs: &mut sybil_obs::Registry,
+) -> Result<(DeploymentReport, ServeStats), ServeError> {
+    serve_inner(out, cfg, clock, Some(obs))
+}
+
+/// The one coordinator loop behind [`serve_timed`] and
+/// [`serve_observed`].
+fn serve_inner(
+    out: &SimOutput,
+    cfg: &ServeConfig,
+    clock: Clock<'_>,
+    mut obs: Option<&mut sybil_obs::Registry>,
+) -> Result<(DeploymentReport, ServeStats), ServeError> {
     let rt = cfg.detect.sanitized();
     if rt.adaptive && rt.feedback_delay_h == 0 {
         return Err(ServeError::ZeroFeedbackDelay);
@@ -170,6 +197,9 @@ pub fn serve_timed(
         ..ServeStats::default()
     };
     let mut epochs_wall_s = 0.0f64;
+    // Logical totals, folded from per-shard tallies at each barrier.
+    let mut totals = ReplayCounters::default();
+    let mut epochs: u64 = 0;
     let t_start = clock();
 
     while let Some(&first) = stream.peek() {
@@ -199,14 +229,34 @@ pub fn serve_timed(
             staged.map(|e| (s, e, busy))
         });
 
+        epochs += 1;
+        totals.events_processed += events.len() as u64;
         let mut epoch_dets: Vec<TaggedDetection> = Vec::new();
         let mut epoch_fb: Vec<TaggedFeedback> = Vec::new();
         let (mut busy_sum, mut busy_max) = (0.0f64, 0.0f64);
         for r in results {
-            let (s, eout, busy) = r?;
-            stats.shard_busy_s[shards.len()] += busy;
+            let (mut s, eout, busy) = r?;
+            let sid = shards.len();
+            stats.shard_busy_s[sid] += busy;
             busy_sum += busy;
             busy_max = busy_max.max(busy);
+            // Drain this shard's tallies (`map_owned` preserves input
+            // order, so this fold runs in shard-id order every time).
+            let sobs = std::mem::take(&mut s.obs);
+            totals.checks_run += sobs.checks_run;
+            totals.detections += sobs.detections;
+            totals.features_computed += sobs.features_computed;
+            totals.audits_sampled += sobs.audits_sampled;
+            // The adaptive replica applies the same feedback on every
+            // shard; shard 0's count is the sequential engine's count.
+            if sid == 0 {
+                totals.feedback_applied += sobs.feedback_applied;
+            }
+            if let Some(reg) = obs.as_deref_mut() {
+                reg.add_sharded(sid, "checks_run", sobs.checks_run);
+                reg.max_sharded(sid, "det_queue_hwm", eout.detections.len() as u64);
+                reg.max_sharded(sid, "fb_queue_hwm", eout.feedback.len() as u64);
+            }
             shards.push(s);
             epoch_dets.extend(eout.detections.into_items());
             epoch_fb.extend(eout.feedback.into_items());
@@ -217,6 +267,10 @@ pub fn serve_timed(
         let coord = (epoch_wall - busy_sum).max(0.0);
         stats.critical_path_s += coord + busy_max;
         epochs_wall_s += epoch_wall;
+        if let Some(reg) = obs.as_deref_mut() {
+            let sid = reg.span("epoch");
+            reg.record_span(sid, epoch_wall);
+        }
         // Deterministic merge: (timestamp, seq) recovers the sequential
         // emission order (seq is unique; account ownership partitions the
         // stream, so no two shards stage the same seq+kind).
@@ -232,6 +286,11 @@ pub fn serve_timed(
     // Stream buffering and final assembly are sequential coordinator
     // work: everything outside the per-epoch windows joins the path.
     stats.critical_path_s += (stats.wall_s - epochs_wall_s).max(0.0);
+    if let Some(reg) = obs {
+        totals.export(reg);
+        let id = reg.counter("epochs");
+        reg.add(id, epochs);
+    }
     Ok((report, stats))
 }
 

@@ -30,4 +30,4 @@ mod mirror;
 pub mod queue;
 mod shard;
 
-pub use engine::{serve, serve_timed, ServeConfig, ServeError, ServeStats};
+pub use engine::{serve, serve_observed, serve_timed, ServeConfig, ServeError, ServeStats};

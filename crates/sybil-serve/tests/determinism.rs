@@ -1,7 +1,9 @@
 //! Shard-determinism suite: the sharded engine's `DeploymentReport` must
 //! be byte-identical (as serialized JSON) to the sequential `replay()` for
 //! every shard count, every `RENREN_THREADS` value, and across repeated
-//! runs — on both simulator-generated and random synthetic logs.
+//! runs — on both simulator-generated and random synthetic logs. The
+//! same contract covers the observability layer: the `logical` section
+//! of the metrics snapshot must not move by a byte either.
 
 use osn_graph::{par, NodeId, TemporalGraph, Timestamp};
 use osn_sim::{
@@ -9,9 +11,9 @@ use osn_sim::{
     SimConfig, SimOutput, ToolKind,
 };
 use proptest::prelude::*;
-use sybil_core::realtime::{replay, RealtimeConfig};
+use sybil_core::realtime::{replay, replay_observed, RealtimeConfig};
 use sybil_core::ThresholdClassifier;
-use sybil_serve::{serve, ServeConfig};
+use sybil_serve::{serve, serve_observed, ServeConfig};
 
 /// One request spec: (from, to, sent_h, Some((answered_after_h, accepted))).
 type RequestSpec = (u32, u32, u64, Option<(u64, bool)>);
@@ -89,6 +91,49 @@ fn eager_cfg(adaptive: bool) -> RealtimeConfig {
 
 fn report_bytes(out: &SimOutput, cfg: &ServeConfig) -> String {
     serde_json::to_string(&serve(out, cfg).expect("serve failed")).unwrap()
+}
+
+/// Serialized `logical` section of an observed serve run (injected null
+/// clock; wall spans are irrelevant to the contract under test).
+fn serve_logical_bytes(out: &SimOutput, cfg: &ServeConfig) -> String {
+    let mut reg = sybil_obs::Registry::new();
+    serve_observed(out, cfg, &|| 0.0, &mut reg).expect("serve failed");
+    serde_json::to_string(&reg.snapshot().logical).unwrap()
+}
+
+/// The logical metrics must be byte-identical at every shard count and
+/// agree with the sequential replay's counters key-for-key (the serve
+/// snapshot adds only the engine-specific `epochs` counter on top).
+fn assert_logical_metrics_agree(out: &SimOutput, detect: RealtimeConfig, epoch_hours: u64) {
+    let mut rreg = sybil_obs::Registry::new();
+    replay_observed(out, &detect, &mut rreg, None);
+    let replay_logical = rreg.snapshot().logical;
+    let mut baseline: Option<String> = None;
+    for shards in [1usize, 2, 8] {
+        let cfg = ServeConfig {
+            shards,
+            epoch_hours,
+            detect,
+        };
+        let bytes = serve_logical_bytes(out, &cfg);
+        match &baseline {
+            None => baseline = Some(bytes.clone()),
+            Some(b) => assert_eq!(
+                b, &bytes,
+                "logical metrics moved between shard counts (at {shards})"
+            ),
+        }
+        let mut reg = sybil_obs::Registry::new();
+        serve_observed(out, &cfg, &|| 0.0, &mut reg).expect("serve failed");
+        let serve_logical = reg.snapshot().logical;
+        for (k, v) in &replay_logical {
+            assert_eq!(
+                serve_logical.get(k),
+                Some(v),
+                "{shards}-shard serve disagrees with replay on logical metric {k:?}"
+            );
+        }
+    }
 }
 
 /// Serve at shard counts 1, 2, 8 (twice each) and compare every run, plus
@@ -193,6 +238,41 @@ fn auto_shard_count_from_env_is_invariant() {
     });
 }
 
+/// The headline observability contract on a real simulated log: the
+/// serialized logical section is byte-identical across
+/// `RENREN_THREADS` ∈ {1, 8} × shards ∈ {1, 2, 8}, and matches the
+/// sequential replay's counters.
+#[test]
+fn logical_metrics_are_thread_and_shard_invariant() {
+    let out = simulate(SimConfig::tiny(34));
+    let detect = RealtimeConfig {
+        rule: ThresholdClassifier {
+            max_out_ratio: 0.5,
+            min_freq: 15.0,
+            max_cc: f64::INFINITY,
+        },
+        adaptive: true,
+        ..RealtimeConfig::default()
+    };
+    let mut all: Vec<String> = Vec::new();
+    for threads in ["1", "8"] {
+        with_threads_env(threads, || {
+            assert_logical_metrics_agree(&out, detect, 12);
+            for shards in [1usize, 2, 8] {
+                let cfg = ServeConfig {
+                    shards,
+                    epoch_hours: 12,
+                    detect,
+                };
+                all.push(serve_logical_bytes(&out, &cfg));
+            }
+        });
+    }
+    for b in &all[1..] {
+        assert_eq!(&all[0], b, "logical metrics moved across threads × shards");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -237,5 +317,28 @@ proptest! {
             .collect();
         let out = synthetic(n, n / 2, &rows);
         assert_all_engines_agree(&out, eager_cfg(true), 48);
+    }
+
+    /// Random adaptive logs: logical metric snapshots are bit-identical
+    /// across shard counts and match the sequential replay's counters —
+    /// the eager config drives every counter (checks, detections,
+    /// feedback, audits) on small inputs.
+    #[test]
+    fn random_logs_logical_metrics(
+        n in 3usize..16,
+        reqs in prop::collection::vec(
+            (0u32..16, 0u32..16, 0u64..72, 0u64..6, (any::<bool>(), any::<bool>())),
+            0..100
+        )
+    ) {
+        let rows: Vec<RequestSpec> = reqs
+            .iter()
+            .map(|&(f, t, h, after, (answered, accepted))| {
+                let d = answered.then_some((after, accepted));
+                (f % n as u32, t % n as u32, h, d)
+            })
+            .collect();
+        let out = synthetic(n, n / 2, &rows);
+        assert_logical_metrics_agree(&out, eager_cfg(true), 7);
     }
 }

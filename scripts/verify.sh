@@ -2,8 +2,10 @@
 # Repo verification: the tier-1 gate from ROADMAP.md plus a zero-warning
 # clippy pass, the sybil-lint semantic audit, the thread-count
 # bit-identity smoke test (the sanitizer stand-in — see DESIGN.md), the
-# parallel-substrate bench-regression guard, and the serving-engine
-# serve-vs-replay equivalence smoke.
+# parallel-substrate bench-regression guard, the serving-engine
+# serve-vs-replay equivalence smoke, the metrics bit-identity guard
+# (logical section of metrics.json across threads × shards), and the
+# observability overhead gate (<5% on the serving critical path).
 # Run from the workspace root: ./scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -62,5 +64,45 @@ print(f"serve guard (RENREN_THREADS={sys.argv[2]}, shards={r['shards']}): "
 sys.exit(0 if ok else 1)
 PY
 done
+
+echo "== observability: logical metrics bit-identity across threads × shards =="
+# `repro --metrics` writes metrics.json; its `logical` section is the
+# determinism contract — byte-identical across RENREN_THREADS and shard
+# counts (`sharded` and `wall` sections are config- and time-dependent).
+for threads in 1 8; do
+    for shards in 1 8; do
+        m_dir="$bench_tmp/metrics_t${threads}_s${shards}"
+        RENREN_THREADS=$threads cargo run -q --release -p sybil-repro --bin repro -- \
+            --scale tiny --out "$m_dir" --shards "$shards" --metrics "$m_dir" \
+            serve >/dev/null
+    done
+done
+python3 - "$bench_tmp" <<'PY'
+import json, sys, os
+base = sys.argv[1]
+configs = [(t, s) for t in (1, 8) for s in (1, 8)]
+logical = {}
+for t, s in configs:
+    path = os.path.join(base, f"metrics_t{t}_s{s}", "metrics.json")
+    logical[(t, s)] = json.dumps(json.load(open(path))["logical"], sort_keys=True)
+ref = logical[(1, 1)]
+ok = all(v == ref for v in logical.values())
+n = len(json.loads(ref))
+print(f"metrics guard: {n} logical metrics, "
+      f"identical across threads×shards {configs}: {ok}")
+sys.exit(0 if ok else 1)
+PY
+
+echo "== observability: instrumentation overhead gate =="
+(cd "$bench_tmp" && cargo run -q --release -p sybil-bench --bin obs_overhead \
+    --manifest-path "$root/Cargo.toml" >/dev/null)
+python3 - "$bench_tmp/BENCH_obs.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+ok = r["report_identical"] and r["overhead_pct"] < 5.0
+print(f"obs guard: overhead {r['overhead_pct']:.2f}% (<5% required), "
+      f"report_identical={r['report_identical']}")
+sys.exit(0 if ok else 1)
+PY
 
 echo "verify: OK"
