@@ -44,6 +44,7 @@ fn main() {
         shards: 4,
         epoch_hours: 48,
         detect,
+        rotate_floor: 0,
     };
 
     let epoch = Instant::now();

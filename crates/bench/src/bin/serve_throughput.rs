@@ -86,6 +86,7 @@ fn main() {
             shards,
             epoch_hours: 48,
             detect,
+            rotate_floor: 0,
         };
         let mut best_path: Option<ServeStats> = None;
         let mut report = None;

@@ -72,5 +72,5 @@ pub mod unionfind;
 pub mod walks;
 
 pub use graph::{EdgeId, EdgeRecord, GraphError, Neighbor, NodeId, TemporalGraph, Timestamp};
-pub use snapshot::{CsrSnapshot, NeighborScratch};
+pub use snapshot::{CsrSnapshot, MergeScratch, NeighborScratch};
 pub use unionfind::UnionFind;

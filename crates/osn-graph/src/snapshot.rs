@@ -7,7 +7,7 @@
 //! coefficients probe every neighbor pair through the hash set, costing
 //! O(deg²) hashed lookups per node with poor locality.
 //!
-//! [`CsrSnapshot::freeze`] lays the adjacency out in two flat arrays:
+//! [`CsrSnapshot::freeze`] lays the adjacency out in two flat views:
 //!
 //! * **id-sorted** rows (`sorted`, with creation times alongside in
 //!   `sorted_times`) giving O(log deg) [`has_edge`](CsrSnapshot::has_edge)
@@ -16,6 +16,20 @@
 //! * **chronological** rows (`chrono`/`chrono_times`, preserving the
 //!   temporal graph's edge-creation order) so the paper's "first *k*
 //!   friends by time" analyses keep their semantics.
+//!
+//! # Chunked column storage
+//!
+//! The four columns are not monolithic `Vec`s: rows are grouped into
+//! fixed-size **blocks** of [`BLOCK_ROWS`] consecutive nodes, each block
+//! holding its own relative offsets plus column arenas. Any single row is
+//! contiguous inside one block, so every accessor still returns a plain
+//! slice — but an incremental rebuild ([`CsrSnapshot::merge_delta`]) only
+//! re-materializes the blocks that contain grown rows and leaves every
+//! other block's storage untouched. That turns a streaming engine's
+//! snapshot rotation from an O(V + E) full copy into O(delta +
+//! grown-blocks) work, and bounds rotation's transient memory to one
+//! block instead of a second full CSR. [`CsrSnapshot::with_edges`] keeps
+//! the original monolithic rebuild as the independently-coded oracle.
 //!
 //! Triangle-style kernels use an epoch-stamped scratch array
 //! ([`NeighborScratch`]) instead of pairwise probes: marking a node's
@@ -26,11 +40,19 @@
 
 use crate::graph::{NodeId, TemporalGraph, Timestamp};
 
-/// Frozen read-only CSR view of a [`TemporalGraph`].
-#[derive(Clone, Debug)]
-pub struct CsrSnapshot {
-    /// Row boundaries: node `n`'s neighbors live at `offsets[n]..offsets[n+1]`
-    /// in all four flat arrays. Length `num_nodes + 1`.
+/// Rows per column block. A power of two so the block lookup is a shift;
+/// small enough that an incremental rotation touching a handful of rows
+/// re-materializes kilobytes, not the whole graph.
+const BLOCK_ROWS: usize = 256;
+
+/// One block of [`BLOCK_ROWS`] consecutive rows: relative offsets plus the
+/// four column arenas. Rows are contiguous within their block, so row
+/// accessors can hand out slices.
+#[derive(Clone, Debug, Default)]
+struct RowBlock {
+    /// Relative row boundaries: local row `l`'s entries live at
+    /// `offsets[l]..offsets[l + 1]` in all four arenas. Length
+    /// `rows_in_block + 1`; first entry always 0.
     offsets: Vec<u32>,
     /// Neighbor ids per row, sorted ascending by id.
     sorted: Vec<u32>,
@@ -40,7 +62,41 @@ pub struct CsrSnapshot {
     chrono: Vec<u32>,
     /// Edge-creation times aligned with `chrono`.
     chrono_times: Vec<Timestamp>,
+}
+
+impl RowBlock {
+    fn empty(rows: usize) -> Self {
+        RowBlock {
+            offsets: vec![0; rows + 1],
+            ..RowBlock::default()
+        }
+    }
+
+    /// Number of rows in this block.
+    fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total entries stored (half-edges) across the block's rows.
+    fn len(&self) -> usize {
+        self.offsets[self.offsets.len() - 1] as usize
+    }
+
+    /// Local range of local row `l`.
+    #[inline]
+    fn row(&self, l: usize) -> std::ops::Range<usize> {
+        debug_assert!(l + 1 < self.offsets.len());
+        self.offsets[l] as usize..self.offsets[l + 1] as usize
+    }
+}
+
+/// Frozen read-only CSR view of a [`TemporalGraph`], stored as chunked
+/// column blocks (see the module docs).
+#[derive(Clone, Debug)]
+pub struct CsrSnapshot {
+    num_nodes: usize,
     num_edges: usize,
+    blocks: Vec<RowBlock>,
 }
 
 /// Reusable epoch-stamped mark array for neighborhood kernels.
@@ -89,7 +145,60 @@ impl NeighborScratch {
     }
 }
 
+/// Reusable transient buffers for [`CsrSnapshot::merge_delta_with`]: the
+/// unfolded half-edge array, the counting-sort bookkeeping, and the
+/// per-block staging area. A rotation's working set is proportional to
+/// the delta being folded; holding one `MergeScratch` across rotations
+/// keeps those pages faulted in instead of re-allocating (and
+/// first-touching) them on every fold.
+#[derive(Clone, Debug, Default)]
+pub struct MergeScratch {
+    /// Additions unfolded to half-edges, `(row, neighbor, time)`.
+    half: Vec<(u32, u32, Timestamp)>,
+    /// Counting-sort block boundaries (`blocks + 1` entries).
+    starts: Vec<u32>,
+    /// Counting-sort write cursors (one per block).
+    cursor: Vec<u32>,
+    /// Half-edges grouped by owning block.
+    grouped: Vec<(u32, u32, Timestamp)>,
+    /// One block's additions, row-sorted, handed to the rebuild.
+    block: Vec<(u32, u32, Timestamp)>,
+}
+
 impl CsrSnapshot {
+    /// Assemble the block layout from monolithic columns — the tail of the
+    /// one-shot builders ([`freeze`](Self::freeze),
+    /// [`with_edges`](Self::with_edges)), which construct flat arrays and
+    /// chop them into blocks here.
+    fn from_monolithic(
+        offsets: Vec<u32>,
+        sorted: Vec<u32>,
+        sorted_times: Vec<Timestamp>,
+        chrono: Vec<u32>,
+        chrono_times: Vec<Timestamp>,
+        num_edges: usize,
+    ) -> Self {
+        let n = offsets.len() - 1;
+        let mut blocks = Vec::with_capacity(n.div_ceil(BLOCK_ROWS));
+        for b0 in (0..n).step_by(BLOCK_ROWS) {
+            let rows = BLOCK_ROWS.min(n - b0);
+            let base = offsets[b0];
+            let (lo, hi) = (base as usize, offsets[b0 + rows] as usize);
+            blocks.push(RowBlock {
+                offsets: offsets[b0..=b0 + rows].iter().map(|&o| o - base).collect(),
+                sorted: sorted[lo..hi].to_vec(),
+                sorted_times: sorted_times[lo..hi].to_vec(),
+                chrono: chrono[lo..hi].to_vec(),
+                chrono_times: chrono_times[lo..hi].to_vec(),
+            });
+        }
+        CsrSnapshot {
+            num_nodes: n,
+            num_edges,
+            blocks,
+        }
+    }
+
     /// Freeze `g` into CSR form. O(V + E log E) for the per-row id sort.
     pub fn freeze(g: &TemporalGraph) -> Self {
         let n = g.num_nodes();
@@ -118,36 +227,36 @@ impl CsrSnapshot {
             offsets.push(sorted.len() as u32);
         }
 
-        CsrSnapshot {
+        Self::from_monolithic(
             offsets,
             sorted,
             sorted_times,
             chrono,
             chrono_times,
-            num_edges: g.num_edges(),
-        }
+            g.num_edges(),
+        )
     }
 
     /// Edge-free snapshot over `num_nodes` nodes — the seed of a streaming
-    /// engine's rotating snapshot chain (see [`Self::with_edges`]).
+    /// engine's rotating snapshot chain (see [`Self::merge_delta`]).
     pub fn empty(num_nodes: usize) -> Self {
+        let mut blocks = Vec::with_capacity(num_nodes.div_ceil(BLOCK_ROWS));
+        for b0 in (0..num_nodes).step_by(BLOCK_ROWS) {
+            blocks.push(RowBlock::empty(BLOCK_ROWS.min(num_nodes - b0)));
+        }
         CsrSnapshot {
-            offsets: vec![0; num_nodes + 1],
-            sorted: Vec::new(),
-            sorted_times: Vec::new(),
-            chrono: Vec::new(),
-            chrono_times: Vec::new(),
+            num_nodes,
             num_edges: 0,
+            blocks,
         }
     }
 
-    /// Fold a buffered edge delta into a new snapshot (epoch rotation).
-    ///
-    /// A streaming consumer accumulates accepted friendships in a flat
-    /// delta buffer and periodically rotates: `snapshot = snapshot
-    /// .with_edges(&delta)` then clears the buffer, keeping kernel calls on
-    /// the fast CSR path while amortizing rebuild cost. O(V + E + D log D)
-    /// for D additions — old rows are copied, only rows that grew re-merge.
+    /// Fold a buffered edge delta into a **new** snapshot — the original
+    /// monolithic rebuild, kept as the independently-coded oracle for
+    /// [`Self::merge_delta`] (the proptest suite holds the two
+    /// element-identical across arbitrary rotation schedules). O(V + E +
+    /// D log D) for D additions — every row is copied, grown rows
+    /// re-merge.
     ///
     /// Caller contract (debug-asserted): endpoints are in range and
     /// distinct, no addition duplicates an existing edge or another
@@ -245,20 +354,180 @@ impl CsrSnapshot {
             }
         }
 
-        CsrSnapshot {
+        Self::from_monolithic(
             offsets,
             sorted,
             sorted_times,
             chrono,
             chrono_times,
-            num_edges: self.num_edges + additions.len(),
+            self.num_edges + additions.len(),
+        )
+    }
+
+    /// Fold a buffered edge delta into the snapshot **in place** — the
+    /// streaming engine's rotation path. Only blocks containing a grown
+    /// row are re-materialized; every other block's storage is reused
+    /// untouched, so a rotation costs O(delta + grown-block bytes) instead
+    /// of the full O(V + E) copy [`Self::with_edges`] pays, and its
+    /// transient allocation is one block, not a second CSR.
+    ///
+    /// Same caller contract as [`Self::with_edges`] (debug-asserted):
+    /// in-range distinct endpoints, no duplicate edges, and additions
+    /// extend each endpoint row in time order. Element-for-element, the
+    /// result is identical to `*self = self.with_edges(additions)`.
+    pub fn merge_delta(&mut self, additions: &[(NodeId, NodeId, Timestamp)]) {
+        self.merge_delta_with(additions, &mut MergeScratch::default());
+    }
+
+    /// [`Self::merge_delta`] with caller-owned transient buffers. A
+    /// rotation's working arrays are proportional to the delta; a caller
+    /// that rotates repeatedly (the serving engine's mirror) reuses one
+    /// [`MergeScratch`] so each fold runs in already-faulted pages
+    /// instead of paying first-touch cost on hundreds of megabytes of
+    /// fresh allocation per rotation.
+    pub fn merge_delta_with(
+        &mut self,
+        additions: &[(NodeId, NodeId, Timestamp)],
+        ms: &mut MergeScratch,
+    ) {
+        if additions.is_empty() {
+            return;
         }
+        let n = self.num_nodes;
+        // Unfold to half-edges; grouping by owning row uses two stable
+        // counting sorts (by block, then by row within each touched
+        // block) — O(delta + touched blocks) and sequential, where a
+        // comparison sort's O(delta log delta) scattered passes dominated
+        // rotation cost at million-edge deltas. Stability preserves
+        // stream order within a row, which is what the chronological
+        // column appends in.
+        ms.half.clear();
+        ms.half.reserve(2 * additions.len());
+        for &(a, b, t) in additions {
+            debug_assert!(a.index() < n && b.index() < n && a != b);
+            debug_assert!(!self.has_edge(a, b), "addition duplicates snapshot edge");
+            ms.half.push((a.0, b.0, t));
+            ms.half.push((b.0, a.0, t));
+        }
+        let nblocks = self.blocks.len();
+        ms.starts.clear();
+        ms.starts.resize(nblocks + 1, 0);
+        for &(v, _, _) in &ms.half {
+            ms.starts[v as usize / BLOCK_ROWS + 1] += 1;
+        }
+        for b in 0..nblocks {
+            ms.starts[b + 1] += ms.starts[b];
+        }
+        ms.cursor.clear();
+        ms.cursor.extend_from_slice(&ms.starts[..nblocks]);
+        ms.grouped.clear();
+        ms.grouped
+            .resize(ms.half.len(), (0u32, 0u32, Timestamp::ZERO));
+        for &(v, nbr, t) in &ms.half {
+            let b = v as usize / BLOCK_ROWS;
+            ms.grouped[ms.cursor[b] as usize] = (v, nbr, t);
+            ms.cursor[b] += 1;
+        }
+
+        for b in 0..nblocks {
+            let (lo, hi) = (ms.starts[b] as usize, ms.starts[b + 1] as usize);
+            if lo == hi {
+                continue;
+            }
+            let adds = &ms.grouped[lo..hi];
+            let mut row_starts = [0u32; BLOCK_ROWS + 1];
+            for &(v, _, _) in adds {
+                row_starts[v as usize % BLOCK_ROWS + 1] += 1;
+            }
+            for l in 0..BLOCK_ROWS {
+                row_starts[l + 1] += row_starts[l];
+            }
+            ms.block.clear();
+            ms.block.resize(adds.len(), (0, 0, Timestamp::ZERO));
+            for &(v, nbr, t) in adds {
+                let l = v as usize % BLOCK_ROWS;
+                ms.block[row_starts[l] as usize] = (v, nbr, t);
+                row_starts[l] += 1;
+            }
+            self.rebuild_block(b, &ms.block);
+        }
+        self.num_edges += additions.len();
+    }
+
+    /// Re-materialize one block, merging `adds` (half-edges sorted by row,
+    /// stream-ordered within a row, all rows inside this block) into its
+    /// columns.
+    fn rebuild_block(&mut self, blk: usize, adds: &[(u32, u32, Timestamp)]) {
+        let old = &self.blocks[blk];
+        let rows = old.rows();
+        let b0 = blk * BLOCK_ROWS;
+        let new_len = old.len() + adds.len();
+        let mut nb = RowBlock {
+            offsets: Vec::with_capacity(rows + 1),
+            sorted: Vec::with_capacity(new_len),
+            sorted_times: Vec::with_capacity(new_len),
+            chrono: Vec::with_capacity(new_len),
+            chrono_times: Vec::with_capacity(new_len),
+        };
+        nb.offsets.push(0);
+        let mut a = 0usize;
+        let mut tail: Vec<(u32, Timestamp)> = Vec::new();
+        for l in 0..rows {
+            let v = (b0 + l) as u32;
+            let r = old.row(l);
+            let row_start = nb.chrono.len();
+            nb.chrono.extend_from_slice(&old.chrono[r.clone()]);
+            nb.chrono_times.extend_from_slice(&old.chrono_times[r.clone()]);
+            let a0 = a;
+            while a < adds.len() && adds[a].0 == v {
+                let (_, nbr, t) = adds[a];
+                debug_assert!(
+                    nb.chrono_times.len() == row_start
+                        || nb.chrono_times[nb.chrono_times.len() - 1] <= t,
+                    "additions must extend each row in time order"
+                );
+                nb.chrono.push(nbr);
+                nb.chrono_times.push(t);
+                a += 1;
+            }
+            if a == a0 {
+                // Row unchanged: copy its sorted view straight over.
+                nb.sorted.extend_from_slice(&old.sorted[r.clone()]);
+                nb.sorted_times.extend_from_slice(&old.sorted_times[r]);
+            } else {
+                tail.clear();
+                tail.extend(adds[a0..a].iter().map(|&(_, nbr, t)| (nbr, t)));
+                tail.sort_unstable_by_key(|&(id, _)| id);
+                debug_assert!(
+                    tail.windows(2).all(|w| w[0].0 != w[1].0),
+                    "additions must not repeat an edge"
+                );
+                let (old_ids, old_times) = (&old.sorted[r.clone()], &old.sorted_times[r]);
+                let (mut i, mut j) = (0, 0);
+                while i < old_ids.len() || j < tail.len() {
+                    let take_old =
+                        j >= tail.len() || (i < old_ids.len() && old_ids[i] < tail[j].0);
+                    if take_old {
+                        nb.sorted.push(old_ids[i]);
+                        nb.sorted_times.push(old_times[i]);
+                        i += 1;
+                    } else {
+                        nb.sorted.push(tail[j].0);
+                        nb.sorted_times.push(tail[j].1);
+                        j += 1;
+                    }
+                }
+            }
+            nb.offsets.push(nb.sorted.len() as u32);
+        }
+        debug_assert!(a == adds.len(), "every addition lands in its block");
+        self.blocks[blk] = nb;
     }
 
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.offsets.len() - 1
+        self.num_nodes
     }
 
     /// Number of undirected edges.
@@ -272,44 +541,49 @@ impl CsrSnapshot {
         (0..self.num_nodes() as u32).map(NodeId)
     }
 
+    /// Block and block-local row range of node `n` — every row accessor
+    /// funnels through here.
     #[inline]
-    fn row(&self, n: NodeId) -> std::ops::Range<usize> {
-        // CSR invariant: offsets has num_nodes + 1 entries, so n+1 is in
-        // bounds for every valid node id.
-        debug_assert!(n.index() + 1 < self.offsets.len());
-        self.offsets[n.index()] as usize..self.offsets[n.index() + 1] as usize
+    fn locate(&self, n: NodeId) -> (&RowBlock, std::ops::Range<usize>) {
+        debug_assert!(n.index() < self.num_nodes);
+        let blk = &self.blocks[n.index() / BLOCK_ROWS];
+        (blk, blk.row(n.index() % BLOCK_ROWS))
     }
 
     /// Degree of `n`.
     #[inline]
     pub fn degree(&self, n: NodeId) -> usize {
-        let r = self.row(n);
+        let (_, r) = self.locate(n);
         r.end - r.start
     }
 
     /// Neighbor ids of `n`, ascending by id.
     #[inline]
     pub fn neighbors_sorted(&self, n: NodeId) -> &[u32] {
-        &self.sorted[self.row(n)]
+        let (b, r) = self.locate(n);
+        &b.sorted[r]
     }
 
     /// Creation times aligned with [`neighbors_sorted`](Self::neighbors_sorted).
     #[inline]
     pub fn times_sorted(&self, n: NodeId) -> &[Timestamp] {
-        &self.sorted_times[self.row(n)]
+        let (b, r) = self.locate(n);
+        &b.sorted_times[r]
     }
 
     /// Neighbor ids of `n` in edge-creation order (the temporal graph's
     /// adjacency order).
     #[inline]
     pub fn neighbors_chrono(&self, n: NodeId) -> &[u32] {
-        &self.chrono[self.row(n)]
+        let (b, r) = self.locate(n);
+        &b.chrono[r]
     }
 
     /// Creation times aligned with [`neighbors_chrono`](Self::neighbors_chrono).
     #[inline]
     pub fn times_chrono(&self, n: NodeId) -> &[Timestamp] {
-        &self.chrono_times[self.row(n)]
+        let (b, r) = self.locate(n);
+        &b.chrono_times[r]
     }
 
     /// The first `k` friends of `n` in chronological order.
@@ -370,8 +644,10 @@ impl CsrSnapshot {
     pub fn links_among_marked(&self, friends: &[u32], scratch: &NeighborScratch) -> usize {
         let mut twice_links = 0usize;
         for &u in friends {
-            twice_links += self.row(NodeId(u))
-                .filter(|&slot| scratch.is_marked(self.sorted[slot]))
+            twice_links += self
+                .neighbors_sorted(NodeId(u))
+                .iter()
+                .filter(|&&v| scratch.is_marked(v))
                 .count();
         }
         twice_links / 2
@@ -396,27 +672,14 @@ impl CsrSnapshot {
     pub fn local_clustering(&self, n: NodeId, scratch: &mut NeighborScratch) -> f64 {
         // Sorted vs chronological order does not matter: the link count and
         // pair count are order-free.
-        let row = self.row(n);
-        let friends = &self.sorted[row];
-        let k = friends.len();
-        if k < 2 {
-            return 0.0;
-        }
-        scratch.begin(self.num_nodes());
-        for &u in friends {
-            scratch.mark(u);
-        }
-        let links = self.links_among_marked(friends, scratch);
-        links as f64 / (k * (k - 1) / 2) as f64
+        self.clustering_of(self.neighbors_sorted(n), scratch)
     }
 
     /// The paper's Fig. 4 metric: clustering over the first `k` friends of
     /// `n` in chronological order. Bit-identical to
     /// [`clustering::first_k_clustering`].
     pub fn first_k_clustering(&self, n: NodeId, k: usize, scratch: &mut NeighborScratch) -> f64 {
-        let row = self.row(n);
-        let friends = &self.chrono[row.start..row.start + (row.end - row.start).min(k)];
-        self.clustering_of_slice(friends, scratch)
+        self.clustering_of(self.first_k_friends(n, k), scratch)
     }
 
     /// Clustering over friends acquired strictly before `t` (chronological
@@ -429,16 +692,9 @@ impl CsrSnapshot {
         t: Timestamp,
         scratch: &mut NeighborScratch,
     ) -> f64 {
-        let row = self.row(n);
-        let times = &self.chrono_times[row.clone()];
+        let times = self.times_chrono(n);
         let cut = times.partition_point(|&time| time < t);
-        let friends = &self.chrono[row.clone()][..cut];
-        self.clustering_of_slice(friends, scratch)
-    }
-
-    #[inline]
-    fn clustering_of_slice(&self, friends: &[u32], scratch: &mut NeighborScratch) -> f64 {
-        self.clustering_of(friends, scratch)
+        self.clustering_of(&self.neighbors_chrono(n)[..cut], scratch)
     }
 
     /// Mean local clustering over nodes with degree ≥ 2, matching
@@ -667,6 +923,36 @@ mod tests {
                 s.local_clustering(n, &mut scratch),
                 full.local_clustering(n, &mut scratch)
             );
+        }
+    }
+
+    /// The in-place incremental rotation must agree with the monolithic
+    /// oracle on every column, including across a block boundary (node
+    /// ids straddling `BLOCK_ROWS`).
+    #[test]
+    fn merge_delta_chain_matches_with_edges() {
+        let far = (BLOCK_ROWS + 3) as u32; // second block
+        let edges: Vec<(NodeId, NodeId, Timestamp)> = vec![
+            (NodeId(0), NodeId(1), t(1)),
+            (NodeId(0), NodeId(far), t(2)),
+            (NodeId(1), NodeId(2), t(3)),
+            (NodeId(far), NodeId(far + 1), t(4)),
+            (NodeId(1), NodeId(far), t(5)),
+            (NodeId(2), NodeId(far + 1), t(6)),
+        ];
+        let n = BLOCK_ROWS + 8;
+        let oracle = CsrSnapshot::empty(n).with_edges(&edges);
+
+        let mut s = CsrSnapshot::empty(n);
+        for batch in [&edges[0..2], &edges[2..2], &edges[2..5], &edges[5..6]] {
+            s.merge_delta(batch);
+        }
+        assert_eq!(s.num_edges(), oracle.num_edges());
+        for v in s.nodes() {
+            assert_eq!(s.neighbors_sorted(v), oracle.neighbors_sorted(v), "{v:?}");
+            assert_eq!(s.times_sorted(v), oracle.times_sorted(v), "{v:?}");
+            assert_eq!(s.neighbors_chrono(v), oracle.neighbors_chrono(v), "{v:?}");
+            assert_eq!(s.times_chrono(v), oracle.times_chrono(v), "{v:?}");
         }
     }
 

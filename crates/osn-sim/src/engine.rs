@@ -997,7 +997,8 @@ mod mechanism_tests {
             let mut sum = 0.0;
             let mut n = 0;
             for s in out.sybil_ids() {
-                let times: Vec<Timestamp> = idx[s.index()]
+                let times: Vec<Timestamp> = idx
+                    .of(s.index())
                     .iter()
                     .map(|&i| out.log.get(i as usize).sent_at)
                     .collect();

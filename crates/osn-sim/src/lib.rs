@@ -41,6 +41,7 @@ pub mod log;
 pub mod output;
 pub mod profile;
 pub mod request;
+pub mod scale;
 pub mod stream;
 pub mod tools;
 
@@ -51,7 +52,8 @@ pub use log::RequestLog;
 pub use output::SimOutput;
 pub use profile::{Gender, Profile};
 pub use request::{RequestOutcome, RequestRecord};
-pub use stream::{EventStream, StreamEvent, StreamEventKind};
+pub use scale::{generate as generate_scale, ScaleConfig};
+pub use stream::{EpochBatches, EventDetail, EventStream, PullStream, StreamEvent, StreamEventKind};
 pub use tools::{ToolKind, ToolSpec};
 
 /// Run a full simulation from a configuration. Convenience for

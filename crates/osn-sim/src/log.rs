@@ -54,24 +54,16 @@ impl RequestLog {
         &self.records[idx]
     }
 
-    /// Per-account index of *sent* requests: `index[a]` lists record
+    /// Per-account index of *sent* requests: `index.of(a)` lists record
     /// positions sent by account `a`, in time order. `n` is the number of
-    /// accounts.
-    pub fn sender_index(&self, n: usize) -> Vec<Vec<u32>> {
-        let mut idx = vec![Vec::new(); n];
-        for (i, r) in self.records.iter().enumerate() {
-            idx[r.from.index()].push(i as u32);
-        }
-        idx
+    /// accounts. Two flat arrays total, not one `Vec` per account.
+    pub fn sender_index(&self, n: usize) -> LogIndex {
+        LogIndex::build(n, self.records.iter().map(|r| r.from.index()))
     }
 
     /// Per-account index of *received* requests, in time order.
-    pub fn receiver_index(&self, n: usize) -> Vec<Vec<u32>> {
-        let mut idx = vec![Vec::new(); n];
-        for (i, r) in self.records.iter().enumerate() {
-            idx[r.to.index()].push(i as u32);
-        }
-        idx
+    pub fn receiver_index(&self, n: usize) -> LogIndex {
+        LogIndex::build(n, self.records.iter().map(|r| r.to.index()))
     }
 
     /// Iterator over the timestamps of requests sent by `who` (requires the
@@ -81,6 +73,50 @@ impl RequestLog {
             .iter()
             .filter(move |r| r.from == who)
             .map(|r| r.sent_at)
+    }
+}
+
+/// Flat CSR-style per-account index over log record positions: one
+/// offsets array plus one ids array, replacing the seed's `Vec<Vec<u32>>`
+/// (which cost ~2·V small allocations per build and scattered rows across
+/// the heap). Built by counting sort, so per-account rows stay in record
+/// (time) order.
+#[derive(Clone, Debug)]
+pub struct LogIndex {
+    /// Row boundaries: account `a`'s records occupy
+    /// `ids[offsets[a]..offsets[a + 1]]`. Length `n + 1`.
+    offsets: Vec<u32>,
+    /// Record positions, grouped by account.
+    ids: Vec<u32>,
+}
+
+impl LogIndex {
+    fn build(n: usize, keys: impl Iterator<Item = usize> + Clone) -> Self {
+        let mut offsets = vec![0u32; n + 1];
+        for k in keys.clone() {
+            offsets[k + 1] += 1;
+        }
+        for a in 0..n {
+            offsets[a + 1] += offsets[a];
+        }
+        let mut ids = vec![0u32; offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        for (i, k) in keys.enumerate() {
+            ids[cursor[k] as usize] = i as u32;
+            cursor[k] += 1;
+        }
+        LogIndex { offsets, ids }
+    }
+
+    /// Record positions attributed to account `a`, in time order.
+    #[inline]
+    pub fn of(&self, a: usize) -> &[u32] {
+        &self.ids[self.offsets[a] as usize..self.offsets[a + 1] as usize]
+    }
+
+    /// Number of accounts indexed.
+    pub fn num_accounts(&self) -> usize {
+        self.offsets.len() - 1
     }
 }
 
@@ -118,13 +154,14 @@ mod tests {
         log.push(rec(0, 2, 2));
         log.push(rec(2, 0, 3));
         let send = log.sender_index(3);
-        assert_eq!(send[0], vec![0, 1]);
-        assert_eq!(send[1], Vec::<u32>::new());
-        assert_eq!(send[2], vec![2]);
+        assert_eq!(send.num_accounts(), 3);
+        assert_eq!(send.of(0), &[0, 1]);
+        assert_eq!(send.of(1), &[] as &[u32]);
+        assert_eq!(send.of(2), &[2]);
         let recv = log.receiver_index(3);
-        assert_eq!(recv[0], vec![2]);
-        assert_eq!(recv[1], vec![0]);
-        assert_eq!(recv[2], vec![1]);
+        assert_eq!(recv.of(0), &[2]);
+        assert_eq!(recv.of(1), &[0]);
+        assert_eq!(recv.of(2), &[1]);
     }
 
     #[test]

@@ -17,9 +17,21 @@
 //!
 //! This is exactly the order the seed's stable `sort_by_key((t, kind))`
 //! produced, so replaying through the stream is bit-identical.
+//!
+//! Two generations of laziness live here. [`EventStream`] (the sequential
+//! replay's path) still sorts one `u32` per resolved request up front and
+//! honors even pathological logs whose decisions precede their sends.
+//! [`PullStream`] goes further for the serving engine: decisions enter a
+//! min-heap as their sends are emitted, so nothing proportional to the
+//! log length is materialized and the working set is the in-flight
+//! decision window — with [`EpochBatches`] layering absolute-grid epoch
+//! slicing (one reused buffer) on top. Both yield the identical event
+//! sequence on well-formed logs, so replay and serve stay bit-identical.
 
 use crate::log::RequestLog;
 use osn_graph::Timestamp;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// What happened at one point of the merged stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,6 +141,202 @@ impl Iterator for EventStream<'_> {
     }
 }
 
+/// Fully pull-based merge for **well-formed** logs (every decision at or
+/// after its send — the discrete-event engine's invariant, debug-asserted
+/// here).
+///
+/// [`EventStream`] still materializes one `u32` per resolved request up
+/// front to sort decisions globally — 4 bytes/event, the last O(total)
+/// side array on the serving path. `PullStream` drops that too: a
+/// record's decision key enters a min-heap only when its *send* is
+/// emitted, so the working set is the decisions in flight (sent, not yet
+/// decided at the stream position) — bounded by the feedback/decision
+/// delay window, not the log length.
+///
+/// Why the order still matches [`EventStream`] exactly: sends win ties,
+/// so every send at time `t` is emitted before any decision at `t` is
+/// popped; by well-formedness any decision with time ≤ `t` belongs to an
+/// already-emitted send and is therefore in the heap; and the heap pops
+/// by `(time, record index)` — precisely `EventStream`'s decision order.
+/// (For pathological logs with decisions before sends, only
+/// `EventStream` reproduces the seed's pure time-sort; the sequential
+/// replay keeps using it for that reason.)
+pub struct PullStream<'a> {
+    log: &'a RequestLog,
+    /// Next unsent record (records are already in `sent_at` order).
+    send_cursor: usize,
+    /// Decisions in flight, ordered by `(decided_at, record index)`; the
+    /// payload carries the record's endpoints and outcome so consumers
+    /// never have to re-fetch the (cache-cold) record at decision time.
+    pending: BinaryHeap<Reverse<(Timestamp, u32, EventDetail)>>,
+    next_seq: u64,
+}
+
+/// Endpoints and outcome of the record behind a [`StreamEvent`], emitted
+/// alongside it by [`PullStream::next_with_detail`]. Engines that process
+/// tens of millions of events per second read these three fields from a
+/// hot sequential array instead of chasing the record in the log (a
+/// guaranteed cache miss for decisions, whose records were appended at
+/// send time, long out of cache).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventDetail {
+    /// Sender of the underlying request.
+    pub from: u32,
+    /// Recipient of the underlying request.
+    pub to: u32,
+    /// For `Decided` events: whether the request was accepted. Always
+    /// `false` for `Sent` events.
+    pub accepted: bool,
+}
+
+impl<'a> PullStream<'a> {
+    /// Build the stream for `log`.
+    pub fn new(log: &'a RequestLog) -> Self {
+        PullStream {
+            log,
+            send_cursor: 0,
+            pending: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Total number of events this stream will yield (sends + decisions).
+    /// One counting pass, no allocation.
+    pub fn total_events(&self) -> usize {
+        self.log.len()
+            + self
+                .log
+                .records()
+                .iter()
+                .filter(|r| r.outcome.is_resolved())
+                .count()
+    }
+
+    /// The next event plus its record's endpoints/outcome. Same sequence
+    /// as the `Iterator` impl (which discards the detail).
+    pub fn next_with_detail(&mut self) -> Option<(StreamEvent, EventDetail)> {
+        let send_at = (self.send_cursor < self.log.len())
+            .then(|| self.log.get(self.send_cursor).sent_at);
+        let decide_at = self.pending.peek().map(|&Reverse((t, _, _))| t);
+        let take_send = match (send_at, decide_at) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            // Sends win ties: a request exists before it is answered.
+            (Some(s), Some(d)) => s <= d,
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Some(if take_send {
+            let i = self.send_cursor;
+            self.send_cursor += 1;
+            let r = self.log.get(i);
+            if let Some(d) = r.outcome.decided_at() {
+                debug_assert!(
+                    r.sent_at <= d,
+                    "PullStream requires decisions at or after their send"
+                );
+                let detail = EventDetail {
+                    from: r.from.0,
+                    to: r.to.0,
+                    accepted: r.outcome.is_accepted(),
+                };
+                self.pending.push(Reverse((d, i as u32, detail)));
+            }
+            (
+                StreamEvent {
+                    seq,
+                    at: r.sent_at,
+                    kind: StreamEventKind::Sent(i as u32),
+                },
+                EventDetail {
+                    from: r.from.0,
+                    to: r.to.0,
+                    accepted: false,
+                },
+            )
+        } else {
+            // The peek above proved the heap non-empty, so `?` never fires.
+            let Reverse((t, i, detail)) = self.pending.pop()?;
+            (
+                StreamEvent {
+                    seq,
+                    at: t,
+                    kind: StreamEventKind::Decided(i),
+                },
+                detail,
+            )
+        })
+    }
+}
+
+impl Iterator for PullStream<'_> {
+    type Item = StreamEvent;
+
+    fn next(&mut self) -> Option<StreamEvent> {
+        self.next_with_detail().map(|(ev, _)| ev)
+    }
+}
+
+/// Epoch-sliced view of a [`PullStream`]: batches events on an absolute
+/// time grid (`epoch_s`-second cells anchored at 0, so boundaries are
+/// independent of where previous epochs happened to end), reusing one
+/// pair of buffers. A consumer holds at most one epoch of events plus the
+/// stream's in-flight decision heap — the serving engine's bounded
+/// working set. Each event comes with its [`EventDetail`] in a parallel
+/// slice, so per-event consumers read endpoints and outcomes from hot
+/// sequential memory instead of the log.
+pub struct EpochBatches<'a> {
+    stream: PullStream<'a>,
+    /// One-slot lookahead (the first event of the *next* epoch).
+    peeked: Option<(StreamEvent, EventDetail)>,
+    epoch_s: u64,
+    buf: Vec<StreamEvent>,
+    details: Vec<EventDetail>,
+}
+
+impl<'a> EpochBatches<'a> {
+    /// Batch `log`'s merged events into `epoch_s`-second epochs.
+    pub fn new(log: &'a RequestLog, epoch_s: u64) -> Self {
+        debug_assert!(epoch_s > 0);
+        EpochBatches {
+            stream: PullStream::new(log),
+            peeked: None,
+            epoch_s,
+            buf: Vec::new(),
+            details: Vec::new(),
+        }
+    }
+
+    fn peek(&mut self) -> Option<&(StreamEvent, EventDetail)> {
+        if self.peeked.is_none() {
+            self.peeked = self.stream.next_with_detail();
+        }
+        self.peeked.as_ref()
+    }
+
+    /// The next non-empty epoch's events and their parallel details, or
+    /// `None` at end of stream. The returned slices are valid until the
+    /// next call (the buffers are reused).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_epoch(&mut self) -> Option<(&[StreamEvent], &[EventDetail])> {
+        let &(first, _) = self.peek()?;
+        let epoch_end = (first.at.as_secs() / self.epoch_s + 1) * self.epoch_s;
+        self.buf.clear();
+        self.details.clear();
+        while let Some(&(ev, detail)) = self.peek() {
+            if ev.at.as_secs() < epoch_end {
+                self.buf.push(ev);
+                self.details.push(detail);
+                self.peeked = None;
+            } else {
+                break;
+            }
+        }
+        Some((&self.buf, &self.details))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,5 +428,87 @@ mod tests {
     fn empty_log_yields_nothing() {
         let log = RequestLog::new();
         assert_eq!(EventStream::new(&log).count(), 0);
+        assert_eq!(PullStream::new(&log).count(), 0);
+        assert!(EpochBatches::new(&log, 3600).next_epoch().is_none());
+    }
+
+    /// On well-formed logs (decisions at or after sends) the heap-based
+    /// pull merge must reproduce `EventStream` event for event.
+    #[test]
+    fn pull_stream_matches_event_stream_on_well_formed_logs() {
+        let log = log_with(&[
+            (0, 1, 1, Some((5, true))),
+            (0, 2, 2, Some((2, false))), // decided the hour it was sent
+            (1, 3, 2, None),             // pending forever
+            (2, 4, 3, Some((3, true))),
+            (3, 5, 3, Some((4, true))), // same send hour, later decision
+            (4, 6, 9, Some((9, false))),
+        ]);
+        let eager: Vec<StreamEvent> = EventStream::new(&log).collect();
+        let pulled: Vec<StreamEvent> = PullStream::new(&log).collect();
+        assert_eq!(pulled, eager);
+        assert_eq!(PullStream::new(&log).total_events(), eager.len());
+    }
+
+    /// Randomized well-formed logs: same equivalence, denser tie pressure.
+    #[test]
+    fn pull_stream_matches_event_stream_randomized() {
+        // Tiny deterministic LCG; no external entropy.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for _ in 0..50 {
+            let mut rows: Vec<Row> = Vec::new();
+            let mut h = 0u64;
+            for _ in 0..next(40) {
+                h += next(3); // nondecreasing send hours with heavy ties
+                let decision = match next(4) {
+                    0 => None,
+                    _ => Some((h + next(6), next(2) == 0)),
+                };
+                rows.push((next(8) as u32, next(8) as u32, h, decision));
+            }
+            let log = log_with(&rows);
+            let eager: Vec<StreamEvent> = EventStream::new(&log).collect();
+            let pulled: Vec<StreamEvent> = PullStream::new(&log).collect();
+            assert_eq!(pulled, eager);
+        }
+    }
+
+    /// Epoch batches concatenate to the full stream, cells lie on the
+    /// absolute grid, and no batch is empty.
+    #[test]
+    fn epoch_batches_tile_the_stream() {
+        let log = log_with(&[
+            (0, 1, 1, Some((5, true))),
+            (1, 2, 2, Some((90, false))), // decision far in the future
+            (2, 3, 40, None),
+            (3, 4, 41, Some((41, true))),
+        ]);
+        let all: Vec<StreamEvent> = EventStream::new(&log).collect();
+        let epoch_s = 24 * 3600;
+        let mut batches = EpochBatches::new(&log, epoch_s);
+        let mut cat: Vec<StreamEvent> = Vec::new();
+        while let Some((events, details)) = batches.next_epoch() {
+            assert!(!events.is_empty());
+            assert_eq!(events.len(), details.len());
+            let cell = events[0].at.as_secs() / epoch_s;
+            assert!(events
+                .iter()
+                .all(|e| e.at.as_secs() / epoch_s == cell), "one grid cell per batch");
+            for (ev, d) in events.iter().zip(details) {
+                let (i, decided) = match ev.kind {
+                    StreamEventKind::Sent(i) => (i, false),
+                    StreamEventKind::Decided(i) => (i, true),
+                };
+                let r = log.get(i as usize);
+                assert_eq!((d.from, d.to), (r.from.0, r.to.0));
+                assert_eq!(d.accepted, decided && r.outcome.is_accepted());
+            }
+            cat.extend_from_slice(events);
+        }
+        assert_eq!(cat, all);
     }
 }

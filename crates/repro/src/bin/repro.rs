@@ -43,14 +43,16 @@ fn main() {
 
     eprintln!("simulating scale={} seed={} ...", spec.scale, spec.seed);
     let t0 = std::time::Instant::now();
-    let ctx = if master.is_some() {
-        let (out, sim_snap) = osn_sim::simulate_observed(spec.scale.config(spec.seed));
-        if let Some(m) = master.as_mut() {
+    // Scale xl has no simulator configuration (the dataset comes from
+    // the synthetic scale generator), so it contributes no `sim` metrics
+    // namespace and always goes through `Ctx::build`.
+    let ctx = match (master.as_mut(), spec.scale.config(spec.seed)) {
+        (Some(m), Some(sim_cfg)) => {
+            let (out, sim_snap) = osn_sim::simulate_observed(sim_cfg);
             m.absorb(&sim_snap.prefixed("sim"));
+            Ctx::from_output(out, spec.scale, spec.seed)
         }
-        Ctx::from_output(out, spec.scale, spec.seed)
-    } else {
-        Ctx::build(spec.scale, spec.seed)
+        _ => Ctx::build(spec.scale, spec.seed),
     };
     let stats = ctx.out.stats();
     eprintln!(

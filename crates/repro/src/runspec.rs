@@ -35,8 +35,8 @@ struct Flag {
 const FLAGS: [Flag; 7] = [
     Flag {
         name: "--scale",
-        value: Some("tiny|small|paper"),
-        help: "simulation scale (default small)",
+        value: Some("tiny|small|paper|xl"),
+        help: "simulation scale (default small; xl = 1M synthetic accounts, serve only)",
     },
     Flag {
         name: "--seed",
@@ -121,7 +121,7 @@ impl RunSpec {
         match self.scale {
             Scale::Tiny => 50,
             Scale::Small => 250,
-            Scale::Paper => 1000,
+            Scale::Paper | Scale::Xl => 1000,
         }
     }
 
@@ -130,14 +130,14 @@ impl RunSpec {
         match self.scale {
             Scale::Tiny => 15,
             Scale::Small => 30,
-            Scale::Paper => 40,
+            Scale::Paper | Scale::Xl => 40,
         }
     }
 
     /// Cascade trials for the spam-reach experiment (fewer at paper
-    /// scale, where each trial is large).
+    /// scale and above, where each trial is large).
     pub fn reach_trials(&self) -> usize {
-        if matches!(self.scale, Scale::Paper) {
+        if matches!(self.scale, Scale::Paper | Scale::Xl) {
             20
         } else {
             50
@@ -229,6 +229,10 @@ pub enum CliError {
     },
     /// A positional argument that names no known experiment.
     UnknownExperiment(String),
+    /// `--scale xl` was combined with an experiment other than `serve`.
+    /// The xl dataset comes from the synthetic scale generator, and the
+    /// figure/table experiments assume simulator-shaped ground truth.
+    XlServeOnly(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -244,6 +248,13 @@ impl std::fmt::Display for CliError {
             } => write!(f, "{flag}: invalid value {value:?} (expected {expected})"),
             CliError::UnknownExperiment(name) => {
                 write!(f, "unknown experiment {name:?}; see --help for the list")
+            }
+            CliError::XlServeOnly(name) => {
+                write!(
+                    f,
+                    "--scale xl runs the serving engine only; {name:?} needs the \
+                     simulated dataset (pass `serve`, or drop the experiment list)"
+                )
             }
         }
     }
@@ -286,7 +297,7 @@ where
                 spec.scale = Scale::parse(&v).ok_or(CliError::InvalidValue {
                     flag: "--scale",
                     value: v,
-                    expected: "tiny|small|paper",
+                    expected: "tiny|small|paper|xl",
                 })?;
             }
             "--seed" => {
@@ -335,7 +346,19 @@ where
             other => positionals.push(other.to_string()),
         }
     }
+    let defaulted = positionals.is_empty();
     spec.experiments = validate_experiments(positionals.into_iter())?;
+    if spec.scale == Scale::Xl {
+        // The xl workload exists to exercise the serving engine at a
+        // million accounts; nothing else runs there. An explicit
+        // non-serve request is an error, while the default "all" set
+        // narrows to `serve` silently.
+        if defaulted {
+            spec.experiments = vec!["serve".to_string()];
+        } else if let Some(bad) = spec.experiments.iter().find(|e| e.as_str() != "serve") {
+            return Err(CliError::XlServeOnly(bad.clone()));
+        }
+    }
     Ok(spec)
 }
 
@@ -467,11 +490,33 @@ mod tests {
     fn derived_parameters_follow_scale() {
         let tiny = RunSpec::builder().scale(Scale::Tiny).build();
         let paper = RunSpec::builder().scale(Scale::Paper).build();
+        let xl = RunSpec::builder().scale(Scale::Xl).build();
         assert_eq!((tiny.per_class(), tiny.suspects(), tiny.reach_trials()), (50, 15, 50));
         assert_eq!(
             (paper.per_class(), paper.suspects(), paper.reach_trials()),
             (1000, 40, 20)
         );
+        assert_eq!((xl.per_class(), xl.suspects(), xl.reach_trials()), (1000, 40, 20));
+    }
+
+    /// `--scale xl` narrows the default experiment set to `serve` and
+    /// rejects explicit requests for anything else.
+    #[test]
+    fn xl_is_serve_only() {
+        let spec = parse(&["--scale", "xl"]).unwrap();
+        assert_eq!(spec.scale, Scale::Xl);
+        assert_eq!(spec.experiments, vec!["serve".to_string()]);
+        let spec = parse(&["--scale", "xl", "serve"]).unwrap();
+        assert_eq!(spec.experiments, vec!["serve".to_string()]);
+        assert_eq!(
+            parse(&["--scale", "xl", "fig1"]),
+            Err(CliError::XlServeOnly("fig1".into()))
+        );
+        // `all` expands to the full list, which includes non-serve names.
+        assert!(matches!(
+            parse(&["--scale", "xl", "all"]),
+            Err(CliError::XlServeOnly(_))
+        ));
     }
 
     #[test]

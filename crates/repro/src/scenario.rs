@@ -14,15 +14,24 @@ pub enum Scale {
     Small,
     /// ~103k accounts; the scaled-down-Renren headline run.
     Paper,
+    /// 1M accounts from the synthetic scale generator
+    /// (`osn_sim::scale`), not the behavioural simulator. Only the
+    /// `serve` experiment runs at this scale: the workload exists to
+    /// exercise the serving engine's million-account path, and the
+    /// figure/table experiments assume simulator-shaped ground truth.
+    Xl,
 }
 
 impl Scale {
-    /// The simulation configuration for this scale.
-    pub fn config(self, seed: u64) -> SimConfig {
+    /// The simulation configuration for this scale, or `None` for
+    /// [`Scale::Xl`], whose dataset comes from the scale generator
+    /// rather than the simulator (see [`Ctx::build`]).
+    pub fn config(self, seed: u64) -> Option<SimConfig> {
         match self {
-            Scale::Tiny => SimConfig::tiny(seed),
-            Scale::Small => SimConfig::small(seed),
-            Scale::Paper => SimConfig::paper(seed),
+            Scale::Tiny => Some(SimConfig::tiny(seed)),
+            Scale::Small => Some(SimConfig::small(seed)),
+            Scale::Paper => Some(SimConfig::paper(seed)),
+            Scale::Xl => None,
         }
     }
 
@@ -32,6 +41,7 @@ impl Scale {
             "tiny" => Some(Scale::Tiny),
             "small" => Some(Scale::Small),
             "paper" => Some(Scale::Paper),
+            "xl" => Some(Scale::Xl),
             _ => None,
         }
     }
@@ -43,6 +53,7 @@ impl std::fmt::Display for Scale {
             Scale::Tiny => write!(f, "tiny"),
             Scale::Small => write!(f, "small"),
             Scale::Paper => write!(f, "paper"),
+            Scale::Xl => write!(f, "xl"),
         }
     }
 }
@@ -67,8 +78,13 @@ pub struct Ctx {
 
 impl Ctx {
     /// Run the simulation for `scale`/`seed` and precompute shared data.
+    /// [`Scale::Xl`] has no simulator configuration; its dataset comes
+    /// from the synthetic scale generator at one million accounts.
     pub fn build(scale: Scale, seed: u64) -> Ctx {
-        let out = simulate(scale.config(seed));
+        let out = match scale.config(seed) {
+            Some(cfg) => simulate(cfg),
+            None => osn_sim::scale::generate(&osn_sim::scale::ScaleConfig::at(1_000_000, seed)),
+        };
         Self::from_output(out, scale, seed)
     }
 
@@ -101,11 +117,14 @@ mod tests {
 
     #[test]
     fn scale_parse_roundtrip() {
-        for s in [Scale::Tiny, Scale::Small, Scale::Paper] {
+        for s in [Scale::Tiny, Scale::Small, Scale::Paper, Scale::Xl] {
             assert_eq!(Scale::parse(&s.to_string()), Some(s));
         }
         assert_eq!(Scale::parse("nope"), None);
         assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        // Only the simulated scales have a simulator configuration.
+        assert!(Scale::Xl.config(1).is_none());
+        assert!(Scale::Tiny.config(1).is_some());
     }
 
     #[test]

@@ -83,6 +83,7 @@ fn run_inner(
             shards,
             epoch_hours,
             detect,
+            rotate_floor: 0,
         };
         let (report, sequential) = match observe {
             Some(clock) => {

@@ -27,6 +27,7 @@ pub mod ratios;
 pub mod temporal;
 
 use osn_graph::{par, CsrSnapshot, NeighborScratch, NodeId};
+use osn_sim::log::LogIndex;
 use osn_sim::SimOutput;
 use serde::{Deserialize, Serialize};
 
@@ -78,8 +79,8 @@ impl FeatureVector {
 pub struct FeatureExtractor<'a> {
     out: &'a SimOutput,
     snap: CsrSnapshot,
-    send_idx: Vec<Vec<u32>>,
-    recv_idx: Vec<Vec<u32>>,
+    send_idx: LogIndex,
+    recv_idx: LogIndex,
 }
 
 impl<'a> FeatureExtractor<'a> {
@@ -101,12 +102,12 @@ impl<'a> FeatureExtractor<'a> {
 
     /// Record indices of requests sent by `n`, in time order.
     pub fn sent_by(&self, n: NodeId) -> &[u32] {
-        &self.send_idx[n.index()]
+        self.send_idx.of(n.index())
     }
 
     /// Record indices of requests received by `n`, in time order.
     pub fn received_by(&self, n: NodeId) -> &[u32] {
-        &self.recv_idx[n.index()]
+        self.recv_idx.of(n.index())
     }
 
     /// Compute the full feature vector for account `n`.
@@ -118,7 +119,9 @@ impl<'a> FeatureExtractor<'a> {
     /// Shared kernel: the only clustering path, so `features_for` and the
     /// parallel `features_for_all` cannot diverge.
     fn features_with_scratch(&self, n: NodeId, scratch: &mut NeighborScratch) -> FeatureVector {
-        let sent: Vec<osn_graph::Timestamp> = self.send_idx[n.index()]
+        let sent: Vec<osn_graph::Timestamp> = self
+            .send_idx
+            .of(n.index())
             .iter()
             .map(|&i| self.out.log.get(i as usize).sent_at)
             .collect();
@@ -127,11 +130,11 @@ impl<'a> FeatureExtractor<'a> {
             inv_freq_400h: invitation::mean_per_active_window(&sent, 400),
             outgoing_accept_ratio: ratios::outgoing_accept_ratio(
                 self.out,
-                &self.send_idx[n.index()],
+                self.send_idx.of(n.index()),
             ),
             incoming_accept_ratio: ratios::incoming_accept_ratio(
                 self.out,
-                &self.recv_idx[n.index()],
+                self.recv_idx.of(n.index()),
             ),
             clustering_coefficient: self
                 .snap

@@ -42,7 +42,8 @@ pub const ALL_RULES: [&str; 6] = ["D001", "D002", "D003", "D004", "D005", "D006"
 
 /// All semantic (call-graph) rule codes, in order. These run only with
 /// `--workspace`, because they need every file to resolve calls.
-pub const SEM_RULES: [&str; 7] = ["S101", "S102", "S103", "S104", "S105", "S106", "S107"];
+pub const SEM_RULES: [&str; 8] =
+    ["S101", "S102", "S103", "S104", "S105", "S106", "S107", "S108"];
 
 /// Is `code` any rule this tool knows (token or semantic)?
 pub fn is_known_rule(code: &str) -> bool {
@@ -65,6 +66,7 @@ pub fn rule_summary(code: &str) -> &'static str {
         "S105" => "stale lint.toml allowlist entry (matched nothing this run)",
         "S106" => "unbounded channel constructor outside sybil-serve's bounded queue module",
         "S107" => "stringly-typed error API: pub Result<_, String> or process::exit in a library",
+        "S108" => "hash container keyed by node/packed-edge ids in a scale-critical module",
         _ => "unknown rule",
     }
 }
@@ -149,6 +151,20 @@ pub fn rule_explanation(code: &str) -> Option<&'static str> {
                    sibling threads mid-epoch. Binaries own the exit code; libraries return \
                    the error. Only `pub fn` signatures are checked (pub(crate) surface is \
                    internal), and binaries may exit — shape (b) fires on library files only.",
+        "S108" => "S108 — hash containers on the million-account hot path\n\nThree modules \
+                   carry the per-event and per-rotation work at scale: the coordinator's \
+                   edge mirror (sybil-serve/src/mirror.rs), the per-shard scan loop \
+                   (sybil-serve/src/shard.rs), and the CSR snapshot \
+                   (osn-graph/src/snapshot.rs). Their layout contract is flat id-indexed \
+                   arenas — CSR row probes, the FlatDelta arena, sorted arrays — because at \
+                   5M accounts a HashMap/HashSet keyed by NodeId, u32, or u64 (or a packed \
+                   pair of them) costs a hash and a cache-hostile probe per touch and \
+                   scatters allocations the rotation path would then re-fault every epoch. \
+                   Dense ids index Vecs directly; sorted runs binary-search. If a hash \
+                   container is genuinely right (a provably tiny working set), allowlist \
+                   the site in lint.toml and state that size bound in the justification. \
+                   Only the three designated modules are checked, and #[cfg(test)] code is \
+                   exempt.",
         _ => return None,
     })
 }

@@ -1,4 +1,4 @@
-//! The semantic S-series rules (S101–S104, S106, S107) over the
+//! The semantic S-series rules (S101–S104, S106–S108) over the
 //! workspace model.
 //!
 //! Unlike the token rules (D001–D006), which judge one file at a time,
@@ -18,7 +18,7 @@ use crate::report::Finding;
 use crate::rules::{test_line_spans_for, FileKind};
 use crate::symbols::{FnIdx, WorkspaceModel};
 
-/// Run S101–S107, returning findings sorted by (path, line, col, rule).
+/// Run S101–S108, returning findings sorted by (path, line, col, rule).
 pub fn check_workspace(model: &WorkspaceModel) -> Vec<Finding> {
     let cg = CallGraph::build(model);
     let mut out = Vec::new();
@@ -28,6 +28,7 @@ pub fn check_workspace(model: &WorkspaceModel) -> Vec<Finding> {
     s104_dead_exports(model, &mut out);
     s106_unbounded_channels(model, &mut out);
     s107_stringly_errors(model, &mut out);
+    s108_hot_path_hash_keys(model, &mut out);
     out.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
     });
@@ -512,6 +513,94 @@ fn s107_stringly_errors(model: &WorkspaceModel, out: &mut Vec<Finding>) {
                     )],
                 });
             }
+        }
+    }
+}
+
+/// S108: hash containers keyed by node or packed-edge ids in the
+/// designated scale-critical modules — the serving engine's mirror and
+/// shard scan loop, and the graph's CSR snapshot. Those modules are the
+/// million-account hot path: their memory-layout contract is flat arenas
+/// (CSR row blocks, the FlatDelta link arena, sorted triple arrays), so
+/// a `HashMap`/`HashSet` keyed by `NodeId`/`u32`/`u64` (or a tuple of
+/// them) there reintroduces per-entry hashing, pointer-chased buckets,
+/// and 8–48 B of overhead per id — exactly the structures the
+/// million-account refactor removed. Reviewed small maps (provably
+/// bounded, off the per-event path) belong in lint.toml with that bound.
+fn s108_hot_path_hash_keys(model: &WorkspaceModel, out: &mut Vec<Finding>) {
+    /// The scale-critical modules, as `(crate, path suffix)` pairs.
+    const HOT: [(&str, &str); 3] = [
+        ("sybil-serve", "src/mirror.rs"),
+        ("sybil-serve", "src/shard.rs"),
+        ("osn-graph", "src/snapshot.rs"),
+    ];
+    /// Key types that are account or packed-edge ids.
+    const KEYS: [&str; 3] = ["NodeId", "u32", "u64"];
+    for file in &model.files {
+        let hot = HOT
+            .iter()
+            .any(|&(krate, suffix)| file.crate_name == krate && file.rel.ends_with(suffix));
+        if !hot || file.kind == FileKind::Test {
+            continue;
+        }
+        let src = file.src.as_str();
+        let toks = lex(src);
+        let spans = test_line_spans_for(src);
+        let in_test = |line: u32| spans.iter().any(|&(a, b)| line >= a && line <= b);
+        for (i, t) in toks.iter().enumerate() {
+            let container = if t.is_ident(src, "HashMap") {
+                "HashMap"
+            } else if t.is_ident(src, "HashSet") {
+                "HashSet"
+            } else {
+                continue;
+            };
+            if in_test(t.line) {
+                continue;
+            }
+            // Only a generic argument list names a key type: `HashMap<K,…>`
+            // or turbofish `HashMap::<K,…>`. A bare mention (an import, a
+            // doc reference, `HashMap::new()` whose key is inferred at a
+            // flagged annotation elsewhere) keys nothing by itself.
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|n| n.is_punct(b':'))
+                && toks.get(j + 1).is_some_and(|n| n.is_punct(b':'))
+                && toks.get(j + 2).is_some_and(|n| n.is_punct(b'<'))
+            {
+                j += 2;
+            }
+            if !toks.get(j).is_some_and(|n| n.is_punct(b'<')) {
+                continue;
+            }
+            j += 1;
+            // The key type: a flagged id type, or a tuple starting with one
+            // (packed pairs like `(u32, u32)`).
+            if toks.get(j).is_some_and(|n| n.is_punct(b'(')) {
+                j += 1;
+            }
+            let Some(key) = toks.get(j) else { continue };
+            if !KEYS.iter().any(|k| key.is_ident(src, k)) {
+                continue;
+            }
+            let key_name = key.text(src);
+            out.push(Finding {
+                rule: "S108",
+                path: file.rel.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "{container} keyed by `{key_name}` in a scale-critical module; use \
+                     the flat layouts (CSR row probes, the FlatDelta arena, sorted \
+                     arrays) or allowlist with the proven size bound",
+                ),
+                snippet: line_text(src, t.line),
+                trace: vec![format!(
+                    "`{container}` keyed by `{key_name}` at {}:{} sits on the \
+                     million-account hot path; this module's layout contract is flat \
+                     id-indexed arenas, not hash tables",
+                    file.rel, t.line
+                )],
+            });
         }
     }
 }

@@ -1,0 +1,19 @@
+//! S108 good fixture: the designated module on flat layouts; the bare
+//! `HashMap` import and the inferred-key `new()` name no key type.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+/// Sorted-run probe over a flat edge arena.
+pub fn probe(runs: &[u64], key: u64) -> bool {
+    runs.binary_search(&key).is_ok()
+}
+
+/// String-keyed scratch map: not an id key.
+pub fn tally(labels: &[String]) -> usize {
+    let mut m = HashMap::new();
+    for l in labels {
+        m.insert(l.clone(), ());
+    }
+    m.len()
+}

@@ -1,0 +1,12 @@
+//! A non-designated module in the same crate: id-keyed maps are fine
+//! here, proving S108 checks only the three scale-critical files.
+#![forbid(unsafe_code)]
+
+/// Aggregates detection counts per account id.
+pub fn per_account(ids: &[u32]) -> usize {
+    let mut m = HashMap::<u32, u64>::new();
+    for &i in ids {
+        *m.entry(i).or_insert(0) += 1;
+    }
+    m.len()
+}

@@ -325,11 +325,98 @@ fn s107_good_typed_errors_are_clean() {
 }
 
 // ---------------------------------------------------------------------
+// S108: hash containers keyed by account/packed-edge ids inside the
+// three scale-critical modules.
+
+/// Fixture files mapped onto explicit workspace-relative paths (S108 is
+/// scoped by crate and path, so the synthetic `crates/<name>/…` layout
+/// of [`sem_files`] does not apply).
+fn s108_findings(name: &str, layout: &[(&str, &str)]) -> Vec<Finding> {
+    let dir = sem_dir().join(name);
+    let files: Vec<SourceFile> = layout
+        .iter()
+        .map(|(disk, rel)| SourceFile {
+            abs: dir.join(disk),
+            rel: rel.to_string(),
+            crate_name: "sybil-serve".to_string(),
+            kind: classify(rel),
+        })
+        .collect();
+    let sources: Vec<String> = files
+        .iter()
+        .map(|f| std::fs::read_to_string(&f.abs).expect("fixture exists"))
+        .collect();
+    check_workspace(&WorkspaceModel::build(&files, &sources))
+}
+
+#[test]
+fn s108_bad_reports_id_keyed_containers() {
+    // A HashSet<u64> field, a HashMap<u32, …> field, and a turbofish
+    // tuple-keyed HashMap::<(u32, u32), …> are flagged; the String-keyed
+    // map and the #[cfg(test)] scratch map are not.
+    let f = s108_findings(
+        "s108_bad",
+        &[
+            ("mirror.rs", "crates/sybil-serve/src/mirror.rs"),
+            ("use_api.rs", "crates/sybil-serve/tests/use_api.rs"),
+        ],
+    );
+    assert_eq!(f.len(), 3, "{f:#?}");
+    assert!(f.iter().all(|v| v.rule == "S108"));
+    assert!(f.iter().all(|v| v.path == "crates/sybil-serve/src/mirror.rs"));
+    assert_eq!((f[0].line, f[1].line, f[2].line), (7, 8, 13), "{f:#?}");
+    assert_eq!(
+        f[0].message,
+        "HashSet keyed by `u64` in a scale-critical module; use the flat \
+         layouts (CSR row probes, the FlatDelta arena, sorted arrays) or \
+         allowlist with the proven size bound"
+    );
+    assert!(
+        f[1].message.starts_with("HashMap keyed by `u32`"),
+        "{}",
+        f[1].message
+    );
+    assert!(
+        f[2].message.starts_with("HashMap keyed by `u32`"),
+        "tuple keys report their first element: {}",
+        f[2].message
+    );
+    assert_eq!(
+        f[0].trace,
+        vec![
+            "`HashSet` keyed by `u64` at crates/sybil-serve/src/mirror.rs:7 \
+             sits on the million-account hot path; this module's layout \
+             contract is flat id-indexed arenas, not hash tables"
+                .to_string()
+        ],
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn s108_good_flat_layouts_and_other_modules_are_clean() {
+    // The designated module uses flat layouts (bare import and inferred
+    // `new()` name no key type); the id-keyed map lives in a
+    // non-designated module of the same crate and raises nothing.
+    let f = s108_findings(
+        "s108_good",
+        &[
+            ("mirror.rs", "crates/sybil-serve/src/mirror.rs"),
+            ("other.rs", "crates/sybil-serve/src/report.rs"),
+            ("use_api.rs", "crates/sybil-serve/tests/use_api.rs"),
+        ],
+    );
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+// ---------------------------------------------------------------------
 // Rule registry: the S-codes are first-class for allowlist validation.
 
 #[test]
 fn s_codes_are_known_rules() {
-    for code in ["S101", "S102", "S103", "S104", "S105", "S106", "S107", "D001", "D006"] {
+    for code in
+        ["S101", "S102", "S103", "S104", "S105", "S106", "S107", "S108", "D001", "D006"]
+    {
         assert!(sybil_lint::rules::is_known_rule(code), "{code}");
     }
     assert!(!sybil_lint::rules::is_known_rule("S999"));

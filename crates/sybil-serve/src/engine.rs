@@ -31,7 +31,7 @@ use crate::mirror::GraphMirror;
 use crate::queue::QueueFull;
 use crate::shard::{ShardState, TaggedDetection, TaggedFeedback};
 use osn_graph::par;
-use osn_sim::stream::{EventStream, StreamEvent};
+use osn_sim::stream::EpochBatches;
 use osn_sim::SimOutput;
 use sybil_core::realtime::{DeploymentReport, RealtimeConfig, ReplayCounters};
 
@@ -48,6 +48,11 @@ pub struct ServeConfig {
     /// The detector configuration, shared with the sequential
     /// [`replay`].
     pub detect: RealtimeConfig,
+    /// Snapshot-rotation floor in edges; 0 selects the engine default
+    /// (1024). Rotation timing is value-neutral, so this only trades
+    /// rotation frequency against delta-probe length — tests force tiny
+    /// floors to exercise many incremental rotations.
+    pub rotate_floor: usize,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +61,7 @@ impl Default for ServeConfig {
             shards: 0,
             epoch_hours: 48,
             detect: RealtimeConfig::default(),
+            rotate_floor: 0,
         }
     }
 }
@@ -184,10 +190,12 @@ fn serve_inner(
     let mut shards: Vec<ShardState> = (0..shards_n)
         .map(|s| ShardState::new(s, shards_n, n, &rt))
         .collect();
-    let mut mirror = GraphMirror::new(n);
+    let mut mirror = GraphMirror::new(n, cfg.rotate_floor);
 
-    let mut stream = EventStream::new(&out.log).peekable();
-    let mut epoch_buf: Vec<StreamEvent> = Vec::new();
+    // Pull-based epoch slicing: at most one epoch of events is buffered,
+    // and no decision-index array proportional to the log is built (see
+    // `osn_sim::stream::PullStream`).
+    let mut batches = EpochBatches::new(&out.log, epoch_s);
     // Feedback staged last epoch, merged, awaiting redistribution.
     let mut carry_feedback: Vec<TaggedFeedback> = Vec::new();
     // All detections so far, in global stream order.
@@ -202,29 +210,15 @@ fn serve_inner(
     let mut epochs: u64 = 0;
     let t_start = clock();
 
-    while let Some(&first) = stream.peek() {
-        // Epochs live on an absolute grid so boundaries are independent
-        // of shard count and of where previous epochs happened to end.
-        let epoch_end = (first.at.as_secs() / epoch_s + 1) * epoch_s;
-        epoch_buf.clear();
-        while let Some(&ev) = stream.peek() {
-            if ev.at.as_secs() < epoch_end {
-                epoch_buf.push(ev);
-                stream.next();
-            } else {
-                break;
-            }
-        }
-
+    while let Some((events, details)) = batches.next_epoch() {
         let feed = std::mem::take(&mut carry_feedback);
-        let events = &epoch_buf;
         let t_epoch = clock();
         // Sequential prepass: collect the epoch's new edges, seq-tagged,
         // so shards can read them without maintaining their own mirrors.
-        let eidx = mirror.index_epoch(events, out);
+        let eidx = mirror.index_epoch(events, details);
         let results = par::map_owned(std::mem::take(&mut shards), |mut s| {
             let t0 = clock();
-            let staged = s.run_epoch(events, out, &feed, &mirror, &eidx);
+            let staged = s.run_epoch(events, details, out, &feed, &mirror, &eidx);
             let busy = clock() - t0;
             staged.map(|e| (s, e, busy))
         });

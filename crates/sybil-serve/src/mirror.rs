@@ -1,120 +1,386 @@
 //! The coordinator's canonical edge mirror.
 //!
 //! Exactly one copy of the accepted-friendship state exists: the
-//! coordinator maintains it sequentially (a packed-key set for pair
-//! probes, a rotating [`CsrSnapshot`] plus unfolded-delta adjacency for
-//! the marked-set clustering kernel) and lends it to every shard
+//! coordinator maintains it sequentially and lends it to every shard
 //! read-only for the duration of an epoch. Edges accepted *within* the
 //! running epoch live in a seq-tagged [`EpochIndex`] built in a cheap
 //! sequential prepass, so a mid-epoch check at stream position `s` counts
 //! exactly the edges the sequential engine had inserted by `s`:
 //! `mirror ∪ {epoch edges with seq ≤ s}`.
 //!
+//! # Compact layout
+//!
+//! Every structure here is flat and u32/u64-packed — no per-node `Vec`
+//! allocations and no hash tables, so the mirror's footprint at millions
+//! of accounts is a handful of arenas:
+//!
+//! * the [`CsrSnapshot`] itself doubles as the edge-membership index: its
+//!   per-row sorted runs make a pair probe a row-local binary search
+//!   (over a node's *degree*, a couple of cache lines) instead of the
+//!   seed's global `HashSet<u64>` of packed keys;
+//! * [`FlatDelta`] — edges accepted since the last snapshot rotation, as
+//!   a generation-stamped head array plus one link arena (8 B/half-edge,
+//!   O(1) clear by generation bump — no O(V) sweep at rotation), probed
+//!   by short chain walks;
+//! * [`EpochIndex`] — this epoch's new edges as one sorted
+//!   `(node, neighbor, seq)` triple array with binary-search probes.
+//!
+//! Rotation folds the delta into the [`CsrSnapshot`] via
+//! [`CsrSnapshot::merge_delta`], which re-materializes only the column
+//! blocks containing grown rows (see `osn_graph::snapshot`). Because the
+//! snapshot + delta *are* the edge set, rotation adds no second copy of
+//! the edges and membership never touches a structure proportional to the
+//! total edge count.
+//!
 //! Keeping this state out of the shards is what makes the engine scale:
 //! a shard's per-event cost for accounts it does not own is a counter and
 //! a branch, not a hash-table write, so adding shards divides the check
 //! work without multiplying the edge bookkeeping.
 
-use osn_graph::{CsrSnapshot, NodeId, Timestamp};
-use osn_sim::stream::{StreamEvent, StreamEventKind};
-use osn_sim::SimOutput;
-use std::collections::{HashMap, HashSet};
+use osn_graph::{CsrSnapshot, MergeScratch, NeighborScratch, NodeId, Timestamp};
+use osn_sim::stream::{EventDetail, StreamEvent, StreamEventKind};
 use sybil_core::realtime::state;
 
-/// Rotate the snapshot once the unfolded delta reaches this many edges or
-/// a quarter of the folded edge count, whichever is larger — geometric
-/// growth keeps total rebuild work O(E) amortized.
-const ROTATE_FLOOR: usize = 1024;
+/// Default rotation floor: rotate the snapshot once the unfolded delta
+/// reaches this many edges or the folded edge count, whichever is larger
+/// — doubling keeps total rebuild traffic O(E) amortized (~2× the final
+/// CSR). Overridable per engine run (tests force tiny floors to exercise
+/// many rotations).
+pub(crate) const ROTATE_FLOOR: usize = 1024;
+
+/// Sentinel for "no link" in [`FlatDelta`] chains.
+const NONE: u32 = u32::MAX;
+
+/// Edges accepted since the last snapshot rotation, as per-node linked
+/// chains threaded through one flat arena.
+///
+/// `heads[v]` is `(generation, first-link)` — valid only when the
+/// generation matches the current one, so clearing after a rotation is a
+/// generation bump, not an O(V) sweep. Chains iterate in reverse
+/// insertion order, which is fine: the only consumer counts marked
+/// neighbors, an order-free reduction.
+pub(crate) struct FlatDelta {
+    gen: u32,
+    /// Per-node `(generation, first link index)`.
+    heads: Vec<(u32, u32)>,
+    /// Link arena: `(next link index, neighbor id)`.
+    links: Vec<(u32, u32)>,
+    /// The same edges in stream order, staged for the next fold.
+    edges: Vec<(NodeId, NodeId, Timestamp)>,
+}
+
+impl FlatDelta {
+    fn new(num_accounts: usize) -> Self {
+        FlatDelta {
+            gen: 1,
+            heads: vec![(0, NONE); num_accounts],
+            links: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Record an accepted edge (both directions).
+    fn push(&mut self, u: NodeId, v: NodeId, t: Timestamp) {
+        for (a, b) in [(u, v), (v, u)] {
+            let head = &mut self.heads[a.index()];
+            let first = if head.0 == self.gen { head.1 } else { NONE };
+            *head = (self.gen, self.links.len() as u32);
+            self.links.push((first, b.0));
+        }
+        self.edges.push((u, v, t));
+    }
+
+    /// Whether `a`–`b` is a staged delta edge. A chain walk over `a`'s
+    /// delta neighbors — the delta is bounded by the rotation threshold,
+    /// so chains stay short on average.
+    #[inline]
+    fn linked(&self, a: u32, b: u32) -> bool {
+        let head = self.heads[a as usize];
+        if head.0 != self.gen {
+            return false;
+        }
+        let mut cur = head.1;
+        while cur != NONE {
+            let (next, nbr) = self.links[cur as usize];
+            if nbr == b {
+                return true;
+            }
+            cur = next;
+        }
+        false
+    }
+
+    /// Count delta neighbors of `u` in the marked set.
+    #[inline]
+    fn marked_count(&self, u: u32, scratch: &NeighborScratch) -> usize {
+        let head = self.heads[u as usize];
+        if head.0 != self.gen {
+            return 0;
+        }
+        let mut count = 0;
+        let mut cur = head.1;
+        while cur != NONE {
+            let (next, nbr) = self.links[cur as usize];
+            count += usize::from(scratch.is_marked(nbr));
+            cur = next;
+        }
+        count
+    }
+
+    /// Number of staged (undirected) edges.
+    fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Drop all staged edges in O(1) by bumping the generation.
+    fn clear(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Wrapped: stale heads could collide with the new generation.
+            self.heads.fill((0, NONE));
+            self.gen = 1;
+        }
+        self.links.clear();
+        self.edges.clear();
+    }
+}
 
 /// Canonical accepted-edge state as of the start of the current epoch.
+/// `snapshot ∪ delta` *is* the accepted-edge set — there is no separate
+/// membership structure to keep in sync or pay memory for.
 pub(crate) struct GraphMirror {
-    /// Every accepted friendship, as packed undirected keys.
-    pub edges: HashSet<u64>,
     /// Folded prefix of the edge stream.
     pub snapshot: CsrSnapshot,
-    /// Edges accepted since the last rotation, both directions, for
-    /// marked probes alongside the snapshot kernel.
-    pub delta_adj: HashMap<u32, Vec<u32>>,
-    /// The same unfolded edges in stream order, staged for the next fold.
-    delta_edges: Vec<(NodeId, NodeId, Timestamp)>,
+    /// Edges accepted since the last rotation.
+    pub delta: FlatDelta,
+    /// Rotation floor in force for this run (see [`ROTATE_FLOOR`]).
+    rotate_floor: usize,
+    /// Reused rotation buffers (the fold's working set is delta-sized;
+    /// re-allocating it every rotation pays first-touch page faults on
+    /// hundreds of megabytes at the million-account sizes).
+    merge_scratch: MergeScratch,
+    /// Reused [`Self::index_epoch`] candidate buffer.
+    cand: Vec<(u64, u64, NodeId, NodeId, Timestamp)>,
+    /// Recycled [`EpochIndex`] storage, taken back in [`Self::absorb`].
+    spare_adj: Vec<(u32, u32, u64)>,
+    /// Recycled new-edge storage, taken back in [`Self::absorb`].
+    spare_edges: Vec<(NodeId, NodeId, Timestamp)>,
 }
 
 /// New edges of the epoch being processed, tagged with the stream
-/// position that created them.
+/// position that created them: one flat `(node, neighbor, seq)` array
+/// sorted by `(node, neighbor)`, both directions present, each pair
+/// unique (the prepass dedups repeat accepts, keeping the earliest seq).
 pub(crate) struct EpochIndex {
-    /// Seq-tagged adjacency (both directions) over this epoch's new edges.
-    pub adj: HashMap<u32, Vec<(u32, u64)>>,
+    adj: Vec<(u32, u32, u64)>,
     /// The same edges in stream order, for [`GraphMirror::absorb`].
     new_edges: Vec<(NodeId, NodeId, Timestamp)>,
 }
 
 impl EpochIndex {
     /// Whether `a`–`b` was created in this epoch at or before `seq`.
+    /// Binary search — O(log K) against the old linear row scan.
+    #[inline]
     pub(crate) fn linked(&self, a: u32, b: u32, seq: u64) -> bool {
         self.adj
-            .get(&a)
-            .is_some_and(|l| l.iter().any(|&(v, s)| v == b && s <= seq))
+            .binary_search_by(|&(n, v, _)| (n, v).cmp(&(a, b)))
+            .is_ok_and(|i| self.adj[i].2 <= seq)
+    }
+
+    /// Count epoch neighbors of `u` created at or before `seq` that are
+    /// in the marked set.
+    #[inline]
+    pub(crate) fn marked_count_at(&self, u: u32, seq: u64, scratch: &NeighborScratch) -> usize {
+        let lo = self.adj.partition_point(|&(n, _, _)| n < u);
+        let hi = self.adj.partition_point(|&(n, _, _)| n <= u);
+        self.adj[lo..hi]
+            .iter()
+            .filter(|&&(_, v, s)| s <= seq && scratch.is_marked(v))
+            .count()
     }
 }
 
 impl GraphMirror {
-    pub fn new(num_accounts: usize) -> Self {
+    /// Mirror over `num_accounts` accounts. `rotate_floor` of 0 selects
+    /// the default [`ROTATE_FLOOR`].
+    pub fn new(num_accounts: usize, rotate_floor: usize) -> Self {
         GraphMirror {
-            edges: HashSet::new(),
             snapshot: CsrSnapshot::empty(num_accounts),
-            delta_adj: HashMap::new(),
-            delta_edges: Vec::new(),
+            delta: FlatDelta::new(num_accounts),
+            rotate_floor: if rotate_floor == 0 {
+                ROTATE_FLOOR
+            } else {
+                rotate_floor
+            },
+            merge_scratch: MergeScratch::default(),
+            cand: Vec::new(),
+            spare_adj: Vec::new(),
+            spare_edges: Vec::new(),
         }
     }
 
     /// Sequential prepass over one epoch's events: collect the accepts
-    /// that create a new edge, in order, tagged with their seq.
-    pub(crate) fn index_epoch(&self, events: &[StreamEvent], out: &SimOutput) -> EpochIndex {
-        let mut idx = EpochIndex {
-            adj: HashMap::new(),
-            new_edges: Vec::new(),
-        };
-        for ev in events {
-            let StreamEventKind::Decided(i) = ev.kind else {
-                continue;
-            };
-            let r = out.log.get(i as usize);
-            if !r.outcome.is_accepted() {
+    /// that create a new edge, in order, tagged with their seq. `details`
+    /// is the epoch slice's parallel [`EventDetail`] array, so the pass
+    /// never touches the log.
+    pub(crate) fn index_epoch(
+        &mut self,
+        events: &[StreamEvent],
+        details: &[EventDetail],
+    ) -> EpochIndex {
+        debug_assert_eq!(events.len(), details.len());
+        // Pass 1: every accepted decision, keyed by packed pair.
+        // Candidates arrive in stream (seq) order; repeat accepts of one
+        // pair within the epoch are removed by a keep-first sort pass —
+        // no hash set needed. The candidate buffer (like the index's own
+        // arrays, recycled through `absorb`) is reused across epochs.
+        let cand = &mut self.cand;
+        cand.clear();
+        for (ev, d) in events.iter().zip(details) {
+            if !matches!(ev.kind, StreamEventKind::Decided(_)) || !d.accepted {
                 continue;
             }
-            let e = state::pack_edge(r.from, r.to);
-            if self.edges.contains(&e) || idx.linked(r.from.0, r.to.0, u64::MAX) {
-                continue;
-            }
-            idx.adj.entry(r.from.0).or_default().push((r.to.0, ev.seq));
-            idx.adj.entry(r.to.0).or_default().push((r.from.0, ev.seq));
-            idx.new_edges.push((r.from, r.to, ev.at));
+            let (from, to) = (NodeId(d.from), NodeId(d.to));
+            cand.push((state::pack_edge(from, to), ev.seq, from, to, ev.at));
         }
+        // Keep-first dedup: sort by (pair, seq), drop repeats. Probing
+        // the mirror *after* the sort visits snapshot blocks in ascending
+        // node order — sequential, not scattered by stream arrival.
+        cand.sort_unstable_by_key(|&(e, seq, ..)| (e, seq));
+        cand.dedup_by_key(|&mut (e, ..)| e);
+        let (snapshot, delta) = (&self.snapshot, &self.delta);
+        cand.retain(|&(e, ..)| {
+            // Probe the low endpoint's row: with candidates sorted by
+            // packed key the walk is block-sequential.
+            let (lo, hi) = ((e >> 32) as u32, e as u32);
+            snapshot
+                .neighbors_sorted(NodeId(lo))
+                .binary_search(&hi)
+                .is_err()
+                && !delta.linked(lo, hi)
+        });
+        // Restore stream (seq) order for the fold.
+        cand.sort_unstable_by_key(|&(_, seq, ..)| seq);
+
+        let mut idx = EpochIndex {
+            adj: std::mem::take(&mut self.spare_adj),
+            new_edges: std::mem::take(&mut self.spare_edges),
+        };
+        idx.adj.reserve(2 * cand.len());
+        idx.new_edges.reserve(cand.len());
+        for &(_, seq, from, to, at) in cand.iter() {
+            idx.adj.push((from.0, to.0, seq));
+            idx.adj.push((to.0, from.0, seq));
+            idx.new_edges.push((from, to, at));
+        }
+        idx.adj.sort_unstable_by_key(|&(n, v, _)| (n, v));
+        debug_assert!(idx
+            .adj
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
         idx
     }
 
-    /// Whether `a`–`b` existed at epoch start (pair-probe path).
+    /// Whether `a`–`b` existed at epoch start (pair-probe path): a
+    /// row-local binary search of the snapshot plus a short delta chain
+    /// walk.
+    #[inline]
     pub(crate) fn pair_linked(&self, a: NodeId, b: NodeId) -> bool {
-        self.edges.contains(&state::pack_edge(a, b))
+        self.snapshot.has_edge(a, b) || self.delta.linked(a.0, b.0)
+    }
+
+    /// Count mirror-delta neighbors of `u` in the marked set (the probe
+    /// companion to the snapshot's marked-set kernel).
+    #[inline]
+    pub(crate) fn delta_marked_count(&self, u: u32, scratch: &NeighborScratch) -> usize {
+        self.delta.marked_count(u, scratch)
     }
 
     /// Fold an epoch's new edges in after the barrier, rotating the
     /// snapshot when the delta outgrows the threshold. Rotation timing is
     /// value-neutral — a link counts the same from the snapshot, the
     /// delta, or the epoch index — and deterministic, since the delta is
-    /// a pure function of the event stream.
+    /// a pure function of the event stream and the configured floor.
     pub(crate) fn absorb(&mut self, idx: EpochIndex) {
         for &(u, v, t) in &idx.new_edges {
-            self.edges.insert(state::pack_edge(u, v));
-            self.delta_adj.entry(u.0).or_default().push(v.0);
-            self.delta_adj.entry(v.0).or_default().push(u.0);
-            self.delta_edges.push((u, v, t));
+            self.delta.push(u, v, t);
         }
-        let threshold = ROTATE_FLOOR.max(self.snapshot.num_edges() / 4);
-        if self.delta_edges.len() >= threshold {
-            self.snapshot = self.snapshot.with_edges(&self.delta_edges);
-            self.delta_edges.clear();
-            self.delta_adj.clear();
+        // Rotate once the delta matches the folded size (doubling): total
+        // rebuild traffic stays ~2× the final CSR while delta chains stay
+        // O(average degree) — they are walked on every pair probe.
+        let threshold = self.rotate_floor.max(self.snapshot.num_edges());
+        if self.delta.len() >= threshold {
+            self.snapshot
+                .merge_delta_with(&self.delta.edges, &mut self.merge_scratch);
+            self.delta.clear();
         }
+        // Recycle the index's storage for the next epoch's build.
+        self.spare_adj = idx.adj;
+        self.spare_adj.clear();
+        self.spare_edges = idx.new_edges;
+        self.spare_edges.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_probe_covers_snapshot_and_delta() {
+        let mut m = GraphMirror::new(5, 1_000_000);
+        assert!(!m.pair_linked(NodeId(0), NodeId(1)));
+        // Folded edge: rotate a one-edge delta into the snapshot.
+        m.delta.push(NodeId(0), NodeId(1), Timestamp::ZERO);
+        m.snapshot.merge_delta(&m.delta.edges);
+        m.delta.clear();
+        // Staged edge: still in the delta.
+        m.delta.push(NodeId(2), NodeId(3), Timestamp::ZERO);
+        assert!(m.pair_linked(NodeId(0), NodeId(1)));
+        assert!(m.pair_linked(NodeId(1), NodeId(0)));
+        assert!(m.pair_linked(NodeId(2), NodeId(3)));
+        assert!(m.pair_linked(NodeId(3), NodeId(2)));
+        assert!(!m.pair_linked(NodeId(0), NodeId(2)));
+        assert!(!m.pair_linked(NodeId(1), NodeId(3)));
+        assert!(!m.pair_linked(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn flat_delta_counts_marked_and_clears_in_o1() {
+        let mut d = FlatDelta::new(5);
+        let t = Timestamp::ZERO;
+        d.push(NodeId(0), NodeId(1), t);
+        d.push(NodeId(0), NodeId(2), t);
+        d.push(NodeId(3), NodeId(4), t);
+        let mut scratch = NeighborScratch::new(5);
+        scratch.begin(5);
+        scratch.mark(1);
+        scratch.mark(2);
+        scratch.mark(4);
+        assert_eq!(d.marked_count(0, &scratch), 2);
+        assert_eq!(d.marked_count(1, &scratch), 0); // 0 is unmarked
+        assert_eq!(d.marked_count(3, &scratch), 1);
+        assert_eq!(d.len(), 3);
+        d.clear();
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.marked_count(0, &scratch), 0);
+        // Reuse after clear starts clean chains.
+        d.push(NodeId(0), NodeId(4), t);
+        assert_eq!(d.marked_count(0, &scratch), 1);
+    }
+
+    #[test]
+    fn flat_delta_generation_wraparound_is_safe() {
+        let mut d = FlatDelta::new(3);
+        d.gen = u32::MAX;
+        d.push(NodeId(0), NodeId(1), Timestamp::ZERO);
+        let mut scratch = NeighborScratch::new(3);
+        scratch.begin(3);
+        scratch.mark(1);
+        assert_eq!(d.marked_count(0, &scratch), 1);
+        d.clear(); // wraps to 0 → resets heads, lands on gen 1
+        assert_eq!(d.marked_count(0, &scratch), 0);
+        d.push(NodeId(0), NodeId(1), Timestamp::ZERO);
+        assert_eq!(d.marked_count(0, &scratch), 1);
     }
 }

@@ -114,6 +114,7 @@ fn assert_logical_metrics_agree(out: &SimOutput, detect: RealtimeConfig, epoch_h
             shards,
             epoch_hours,
             detect,
+            rotate_floor: 0,
         };
         let bytes = serve_logical_bytes(out, &cfg);
         match &baseline {
@@ -145,6 +146,7 @@ fn assert_all_engines_agree(out: &SimOutput, detect: RealtimeConfig, epoch_hours
             shards,
             epoch_hours,
             detect,
+            rotate_floor: 0,
         };
         let a = report_bytes(out, &cfg);
         let b = report_bytes(out, &cfg);
@@ -223,6 +225,7 @@ fn auto_shard_count_from_env_is_invariant() {
         shards: 0,
         epoch_hours: 24,
         detect,
+        rotate_floor: 0,
     };
     let mut reports = Vec::new();
     for threads in ["1", "2", "8"] {
@@ -263,6 +266,7 @@ fn logical_metrics_are_thread_and_shard_invariant() {
                     shards,
                     epoch_hours: 12,
                     detect,
+                    rotate_floor: 0,
                 };
                 all.push(serve_logical_bytes(&out, &cfg));
             }
@@ -340,5 +344,46 @@ proptest! {
             .collect();
         let out = synthetic(n, n / 2, &rows);
         assert_logical_metrics_agree(&out, eager_cfg(true), 7);
+    }
+
+    /// Random adaptive logs under forced tiny rotation floors: with
+    /// `rotate_floor` at 1, 2 or 8 edges, almost every barrier rotates the
+    /// coordinator's snapshot through the incremental `merge_delta` path
+    /// (instead of the default 1024-edge floor that small logs never hit).
+    /// Rotation timing is supposed to be value-neutral; this pins it.
+    #[test]
+    fn random_logs_tiny_rotation_floors(
+        n in 3usize..16,
+        reqs in prop::collection::vec(
+            (0u32..16, 0u32..16, 0u64..72, 0u64..6, (any::<bool>(), any::<bool>())),
+            0..100
+        ),
+        floor_ix in 0usize..3
+    ) {
+        let floor = [1usize, 2, 8][floor_ix];
+        let rows: Vec<RequestSpec> = reqs
+            .iter()
+            .map(|&(f, t, h, after, (answered, accepted))| {
+                let d = answered.then_some((after, accepted));
+                (f % n as u32, t % n as u32, h, d)
+            })
+            .collect();
+        let out = synthetic(n, n / 2, &rows);
+        let detect = eager_cfg(true);
+        let sequential = serde_json::to_string(&replay(&out, &detect)).unwrap();
+        for shards in [1usize, 2, 8] {
+            let cfg = ServeConfig {
+                shards,
+                epoch_hours: 48,
+                detect,
+                rotate_floor: floor,
+            };
+            let bytes = report_bytes(&out, &cfg);
+            prop_assert_eq!(
+                &bytes, &sequential,
+                "{}-shard serve with rotate_floor {} diverged from replay",
+                shards, floor
+            );
+        }
     }
 }

@@ -93,6 +93,40 @@ print(f"metrics guard: {n} logical metrics, "
 sys.exit(0 if ok else 1)
 PY
 
+echo "== scale: scale_sweep smoke (20k + 200k accounts) =="
+# The CI-sized slice of the million-account sweep: serve must stay
+# byte-identical to replay and inside the RSS budget at both smoke
+# sizes. The full sweep's output is the committed BENCH_scale.json.
+(cd "$bench_tmp" && cargo run -q --release -p sybil-bench --bin scale_sweep \
+    --manifest-path "$root/Cargo.toml" -- --smoke >/dev/null)
+python3 - "$bench_tmp/BENCH_scale.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+rows = r["rows"]
+ok = r["bit_identical"] and all(row["under_budget"] for row in rows)
+print(f"scale smoke: {len(rows)} rows, bit_identical={r['bit_identical']}, "
+      f"under_budget={all(row['under_budget'] for row in rows)}")
+sys.exit(0 if ok else 1)
+PY
+
+echo "== scale: committed BENCH_scale.json 5M-account floor =="
+# Regression guard on the committed full-sweep record: the 5M row must
+# exist, be bit-identical, stay under its RSS budget, and sustain the
+# 10M event-scans/sec aggregate floor at 8 shards.
+python3 - "$root/BENCH_scale.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+row = next((x for x in r["rows"] if x["accounts"] == 5_000_000), None)
+if row is None:
+    print("scale guard: committed BENCH_scale.json has no 5M-account row")
+    sys.exit(1)
+scan8 = row["scan_events_per_sec_8shards"]
+ok = row["bit_identical"] and row["under_budget"] and scan8 >= 10_000_000
+print(f"scale guard: 5M row scan8={scan8/1e6:.1f}M/s (>=10M required), "
+      f"bit_identical={row['bit_identical']}, under_budget={row['under_budget']}")
+sys.exit(0 if ok else 1)
+PY
+
 echo "== observability: instrumentation overhead gate =="
 (cd "$bench_tmp" && cargo run -q --release -p sybil-bench --bin obs_overhead \
     --manifest-path "$root/Cargo.toml" >/dev/null)

@@ -123,7 +123,7 @@ fn banned_accounts_are_sybils_and_stop_acting() {
             assert!(a.is_sybil(), "only sybils get banned in-model");
             assert!(b >= a.created_at);
             // No outgoing requests after the ban.
-            for &idx in &out.log.sender_index(out.accounts.len())[i] {
+            for &idx in out.log.sender_index(out.accounts.len()).of(i) {
                 assert!(out.log.get(idx as usize).sent_at <= b);
             }
         }
