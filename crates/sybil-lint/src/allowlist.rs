@@ -16,13 +16,31 @@
 //! `rule`, `path`, and a non-trivial `justification` (≥ 15 characters) are
 //! required; unknown keys and malformed lines are hard errors so the file
 //! cannot silently rot.
+//!
+//! Besides `[[allow]]` entries, the file may designate effect-analysis
+//! roots and sinks (see [`crate::effects`]):
+//!
+//! ```toml
+//! [effects.roots]
+//! clockless = ["sybil-serve::engine::serve", "osn-sim::simulate"]
+//! io_free = [
+//!     "sybil-serve::shard::*",
+//! ]
+//!
+//! [effects.sinks]
+//! byte_stable = ["sybil-obs::Snapshot::*"]
+//! ```
+//!
+//! Values are arrays of fully qualified function names, exact or
+//! trailing-`*` prefix patterns; arrays may span multiple lines.
 
+use crate::effects::EffectConfig;
 use crate::report::Finding;
 
 /// One reviewed exception.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Rule code the entry silences (`D001`…`D006`, `S101`…`S107`).
+    /// Rule code the entry silences (`D001`…`D006`, `S101`…`S112`).
     pub rule: String,
     /// Workspace-relative path the entry applies to.
     pub path: String,
@@ -40,6 +58,8 @@ pub struct AllowEntry {
 pub struct Allowlist {
     /// All entries, in file order.
     pub entries: Vec<AllowEntry>,
+    /// Effect-rule roots and sinks from the `[effects.*]` tables.
+    pub effects: EffectConfig,
 }
 
 impl Allowlist {
@@ -102,13 +122,25 @@ impl ParseError {
     }
 }
 
+/// Which non-`[[allow]]` table the parser is inside.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EffTable {
+    Roots,
+    Sinks,
+}
+
 /// Parse `lint.toml` content. Errors carry the offending line number.
 pub fn parse(content: &str) -> Result<Allowlist, ParseError> {
     let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut effects = EffectConfig::default();
     let mut cur: Option<PartialEntry> = None;
-    for (i, raw) in content.lines().enumerate() {
+    let mut table: Option<EffTable> = None;
+    let lines: Vec<&str> = content.lines().collect();
+    let mut i = 0;
+    while i < lines.len() {
         let lineno = i + 1;
-        let line = strip_comment(raw).trim().to_string();
+        let line = strip_comment(lines[i]).trim().to_string();
+        i += 1;
         if line.is_empty() {
             continue;
         }
@@ -116,6 +148,7 @@ pub fn parse(content: &str) -> Result<Allowlist, ParseError> {
             if let Some(p) = cur.take() {
                 entries.push(p.finish(lineno)?);
             }
+            table = None;
             cur = Some(PartialEntry {
                 defined_at: lineno as u32,
                 ..PartialEntry::default()
@@ -123,10 +156,23 @@ pub fn parse(content: &str) -> Result<Allowlist, ParseError> {
             continue;
         }
         if line.starts_with('[') {
-            return Err(ParseError::at(
-                lineno,
-                format!("unknown table {line:?} (only [[allow]] is supported)"),
-            ));
+            if let Some(p) = cur.take() {
+                entries.push(p.finish(lineno)?);
+            }
+            table = match line.as_str() {
+                "[effects.roots]" => Some(EffTable::Roots),
+                "[effects.sinks]" => Some(EffTable::Sinks),
+                _ => {
+                    return Err(ParseError::at(
+                        lineno,
+                        format!(
+                            "unknown table {line:?} (supported: [[allow]], \
+                             [effects.roots], [effects.sinks])"
+                        ),
+                    ))
+                }
+            };
+            continue;
         }
         let Some((key, value)) = line.split_once('=') else {
             return Err(ParseError::at(
@@ -134,7 +180,36 @@ pub fn parse(content: &str) -> Result<Allowlist, ParseError> {
                 format!("expected `key = value`, got {line:?}"),
             ));
         };
-        let (key, value) = (key.trim(), value.trim());
+        let (key, mut value) = (key.trim(), value.trim().to_string());
+        if let Some(t) = table {
+            // Effect tables: every value is a string array, possibly
+            // spanning multiple lines — accumulate until it closes.
+            while !value.ends_with(']') && i < lines.len() {
+                value.push(' ');
+                value.push_str(strip_comment(lines[i]).trim());
+                i += 1;
+            }
+            let pats = parse_string_array(&value, lineno)?;
+            let slot = match (t, key) {
+                (EffTable::Roots, "clockless") => &mut effects.clockless_roots,
+                (EffTable::Roots, "io_free") => &mut effects.io_free_roots,
+                (EffTable::Sinks, "byte_stable") => &mut effects.byte_stable_sinks,
+                (EffTable::Roots, _) => {
+                    return Err(ParseError::at(
+                        lineno,
+                        format!("unknown key {key:?} in [effects.roots] (allowed: clockless, io_free)"),
+                    ))
+                }
+                (EffTable::Sinks, _) => {
+                    return Err(ParseError::at(
+                        lineno,
+                        format!("unknown key {key:?} in [effects.sinks] (allowed: byte_stable)"),
+                    ))
+                }
+            };
+            *slot = pats;
+            continue;
+        }
         let Some(p) = cur.as_mut() else {
             return Err(ParseError::at(
                 lineno,
@@ -142,9 +217,9 @@ pub fn parse(content: &str) -> Result<Allowlist, ParseError> {
             ));
         };
         match key {
-            "rule" => p.rule = Some(parse_string(value, lineno)?),
-            "path" => p.path = Some(parse_string(value, lineno)?),
-            "justification" => p.justification = Some(parse_string(value, lineno)?),
+            "rule" => p.rule = Some(parse_string(&value, lineno)?),
+            "path" => p.path = Some(parse_string(&value, lineno)?),
+            "justification" => p.justification = Some(parse_string(&value, lineno)?),
             "line" => {
                 p.line = Some(value.parse::<u32>().map_err(|_| {
                     ParseError::at(
@@ -162,10 +237,57 @@ pub fn parse(content: &str) -> Result<Allowlist, ParseError> {
         }
     }
     if let Some(p) = cur.take() {
-        let end = content.lines().count();
+        let end = lines.len();
         entries.push(p.finish(end)?);
     }
-    Ok(Allowlist { entries })
+    Ok(Allowlist { entries, effects })
+}
+
+/// Parse a `["a", "b", …]` string array (already joined onto one line).
+fn parse_string_array(value: &str, lineno: usize) -> Result<Vec<String>, ParseError> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| {
+            ParseError::at(
+                lineno,
+                format!("expected a string array `[…]`, got {value:?}"),
+            )
+        })?;
+    let mut out = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        if !rest.starts_with('"') {
+            return Err(ParseError::at(
+                lineno,
+                format!("expected a double-quoted string in array, got {rest:?}"),
+            ));
+        }
+        // Find the closing quote (the patterns are plain paths — no
+        // escapes to honor, but reject embedded backslashes outright).
+        let close = rest[1..].find('"').ok_or_else(|| {
+            ParseError::at(lineno, "unterminated string in array".to_string())
+        })? + 1;
+        let s = &rest[1..close];
+        if s.contains('\\') {
+            return Err(ParseError::at(
+                lineno,
+                format!("escapes are not supported in effect patterns: {s:?}"),
+            ));
+        }
+        out.push(s.to_string());
+        rest = rest[close + 1..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(ParseError::at(
+                lineno,
+                format!("expected `,` between array elements, got {rest:?}"),
+            ));
+        }
+    }
+    Ok(out)
 }
 
 #[derive(Default)]
@@ -232,10 +354,10 @@ pub fn remove_stale(content: &str, stale: &[AllowEntry]) -> String {
         while start > 0 && lines[start - 1].trim_start().starts_with('#') {
             start -= 1;
         }
-        // The block ends before the next [[allow]] / table / EOF, trailing
-        // blank separator included.
+        // The block ends before the next [[allow]] / [effects.*] table /
+        // EOF, trailing blank separator included.
         let mut end = h0 + 1;
-        while end < lines.len() && !lines[end].trim_start().starts_with("[[") {
+        while end < lines.len() && !lines[end].trim_start().starts_with('[') {
             end += 1;
         }
         while end > h0 + 1 && lines[end - 1].trim().is_empty() {

@@ -125,6 +125,19 @@ impl CallGraph {
         target: FnIdx,
         pred: impl Fn(FnIdx) -> bool,
     ) -> Option<(FnIdx, Vec<Edge>)> {
+        self.nearest_ancestor_where(target, pred, |_| true)
+    }
+
+    /// [`nearest_ancestor`](CallGraph::nearest_ancestor) restricted to
+    /// paths whose every node passes `admit`. The effect rules use this
+    /// to confine propagation traces to library functions, so a bench or
+    /// test caller can never appear as the "root" of a core-path finding.
+    pub fn nearest_ancestor_where(
+        &self,
+        target: FnIdx,
+        pred: impl Fn(FnIdx) -> bool,
+        admit: impl Fn(FnIdx) -> bool,
+    ) -> Option<(FnIdx, Vec<Edge>)> {
         if pred(target) {
             return Some((target, Vec::new()));
         }
@@ -134,7 +147,7 @@ impl CallGraph {
         queue.push_back(target);
         while let Some(u) = queue.pop_front() {
             for e in &self.rin[u] {
-                if e.from == target || next.contains_key(&e.from) {
+                if e.from == target || next.contains_key(&e.from) || !admit(e.from) {
                     continue;
                 }
                 next.insert(e.from, *e);

@@ -5,14 +5,18 @@
 //! lightweight Rust lexer ([`lexer`]) feeds a per-file rule engine
 //! ([`rules`]) that audits the whole workspace ([`workspace`]) and exits
 //! nonzero on violations not covered by the reviewed `lint.toml`
-//! allowlist ([`allowlist`]). Output comes in human and `--format json`
-//! flavors ([`report`]).
+//! allowlist ([`allowlist`]). Output comes in human, `--format json`
+//! ([`report`]), and `--format sarif` ([`sarif`]) flavors.
 //!
 //! On top of the token layer sits a semantic layer: an item-level parser
 //! ([`parser`]) feeds a workspace symbol table ([`symbols`]) and a
 //! name-resolved call graph ([`callgraph`]), over which the S-series
 //! rules ([`rules_sem`]) reason about *reachability* — every S-finding
-//! carries a call-chain trace explaining why it fired.
+//! carries a call-chain trace explaining why it fired. The effect layer
+//! ([`effects`]) generalizes those per-rule searches into one
+//! interprocedural analysis: per-function effect sets inferred from leaf
+//! intrinsics and propagated to a fixpoint, with roots and sinks
+//! designated in `lint.toml`'s `[effects.*]` tables.
 //!
 //! The rules:
 //!
@@ -29,6 +33,13 @@
 //! | S103 | no `&mut`/RNG capture across the `par` boundary |
 //! | S104 | no dead exports (pub items nothing outside the crate names) |
 //! | S105 | no stale `lint.toml` entries (`--fix-allowlist` prunes them) |
+//! | S106 | no unbounded channels outside sybil-serve's DeltaQueue |
+//! | S107 | no stringly-typed error APIs (`Result<_, String>`, lib exits) |
+//! | S108 | no id-keyed hash containers in the scale-critical modules |
+//! | S109 | no clock/env/thread-id effects reachable from clockless roots |
+//! | S110 | no IO effects reachable from the epoch-barrier critical path |
+//! | S111 | no unordered hash iteration reachable from byte-stable sinks |
+//! | S112 | no thread spawns outside the sanctioned scheduler files |
 //!
 //! No external parser dependencies: the lexer is ~300 lines, the item
 //! parser ~700, and the TOML allowlist reader handles exactly the subset
@@ -39,11 +50,13 @@
 
 pub mod allowlist;
 pub mod callgraph;
+pub mod effects;
 pub mod lexer;
 pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod rules_sem;
+pub mod sarif;
 pub mod symbols;
 pub mod workspace;
 

@@ -1,7 +1,7 @@
 //! The `sybil-lint` CLI.
 //!
 //! ```text
-//! sybil-lint --workspace [--format human|json] [--root DIR]
+//! sybil-lint --workspace [--format human|json|sarif] [--root DIR]
 //!            [--allowlist FILE | --no-allowlist] [--fix-allowlist]
 //!            [--list-rules] [--explain CODE] [PATH...]
 //! ```
@@ -22,9 +22,17 @@ use std::process::ExitCode;
 use sybil_lint::workspace::{self, SourceFile};
 use sybil_lint::{allowlist, report, rules};
 
+/// Output rendering mode.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 struct Args {
     workspace: bool,
-    json: bool,
+    format: Format,
     root: Option<PathBuf>,
     allowlist: Option<PathBuf>,
     no_allowlist: bool,
@@ -34,14 +42,14 @@ struct Args {
     paths: Vec<PathBuf>,
 }
 
-const USAGE: &str = "usage: sybil-lint [--workspace] [--format human|json] [--root DIR] \
+const USAGE: &str = "usage: sybil-lint [--workspace] [--format human|json|sarif] [--root DIR] \
                      [--allowlist FILE] [--no-allowlist] [--fix-allowlist] [--list-rules] \
                      [--explain CODE] [PATH...]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         workspace: false,
-        json: false,
+        format: Format::Human,
         root: None,
         allowlist: None,
         no_allowlist: false,
@@ -62,9 +70,10 @@ fn parse_args() -> Result<Args, String> {
                 args.explain = Some(it.next().ok_or("--explain expects a rule code")?)
             }
             "--format" => match it.next().as_deref() {
-                Some("json") => args.json = true,
-                Some("human") => args.json = false,
-                other => return Err(format!("--format expects human|json, got {other:?}")),
+                Some("json") => args.format = Format::Json,
+                Some("human") => args.format = Format::Human,
+                Some("sarif") => args.format = Format::Sarif,
+                other => return Err(format!("--format expects human|json|sarif, got {other:?}")),
             },
             "--root" => {
                 args.root = Some(PathBuf::from(
@@ -230,10 +239,10 @@ fn main() -> ExitCode {
         );
     }
 
-    if args.json {
-        print!("{}", report::render_json(&rep));
-    } else {
-        print!("{}", report::render_human(&rep));
+    match args.format {
+        Format::Json => print!("{}", report::render_json(&rep)),
+        Format::Sarif => print!("{}", sybil_lint::sarif::render_sarif(&rep)),
+        Format::Human => print!("{}", report::render_human(&rep)),
     }
     if rep.is_clean() {
         ExitCode::SUCCESS

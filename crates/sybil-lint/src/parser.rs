@@ -150,6 +150,10 @@ pub struct FnDef {
     pub has_guard: bool,
     /// The definition sits inside `#[cfg(test)]` / `#[test]` code.
     pub in_test: bool,
+    /// Token-index span `(open, close)` of the body braces in the file's
+    /// token stream — lets later passes (effect-intrinsic collection)
+    /// re-lex the file and attribute token patterns to this function.
+    pub body: (usize, usize),
 }
 
 /// A non-`fn` item definition (struct, enum, trait, const, …).
@@ -512,6 +516,7 @@ fn parse_fn(
         float_evidence: false,
         has_guard: false,
         in_test: in_test(toks[fn_idx].line),
+        body: (open, close),
     };
     scan_body(src, toks, open, close, &mut def);
     (Some(def), close + 1)

@@ -155,8 +155,9 @@ where
     }
 }
 
-/// Escape a string for JSON output.
-fn json_str(s: &str) -> String {
+/// Escape a string for JSON output. Shared with the SARIF renderer so
+/// every machine format escapes identically.
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -42,8 +42,10 @@ pub const ALL_RULES: [&str; 6] = ["D001", "D002", "D003", "D004", "D005", "D006"
 
 /// All semantic (call-graph) rule codes, in order. These run only with
 /// `--workspace`, because they need every file to resolve calls.
-pub const SEM_RULES: [&str; 8] =
-    ["S101", "S102", "S103", "S104", "S105", "S106", "S107", "S108"];
+pub const SEM_RULES: [&str; 12] = [
+    "S101", "S102", "S103", "S104", "S105", "S106", "S107", "S108", "S109", "S110", "S111",
+    "S112",
+];
 
 /// Is `code` any rule this tool knows (token or semantic)?
 pub fn is_known_rule(code: &str) -> bool {
@@ -67,6 +69,10 @@ pub fn rule_summary(code: &str) -> &'static str {
         "S106" => "unbounded channel constructor outside sybil-serve's bounded queue module",
         "S107" => "stringly-typed error API: pub Result<_, String> or process::exit in a library",
         "S108" => "hash container keyed by node/packed-edge ids in a scale-critical module",
+        "S109" => "wall-clock/env/thread-id effect reachable from a deterministic-core root",
+        "S110" => "IO effect reachable from the epoch-barrier critical path",
+        "S111" => "unordered hash iteration reachable from a byte-stable export sink",
+        "S112" => "thread spawn outside osn_graph::par and sybil-serve's coordinator",
         _ => "unknown rule",
     }
 }
@@ -165,6 +171,60 @@ pub fn rule_explanation(code: &str) -> Option<&'static str> {
                    the site in lint.toml and state that size bound in the justification. \
                    Only the three designated modules are checked, and #[cfg(test)] code is \
                    exempt.",
+        "S109" => "S109 — ambient-input effects on the deterministic core\n\nThe replay/serve \
+                   contract every verify.sh gate byte-compares assumes the core computes from \
+                   its arguments alone. S109 proves it: an interprocedural effect analysis \
+                   infers, for every library function, whether it (transitively) reads the \
+                   wall clock (Instant::now / SystemTime / UNIX_EPOCH), the environment \
+                   (std::env::*), or the current thread's identity (thread::current), \
+                   propagating leaf intrinsics to a fixpoint over the name-resolved call \
+                   graph — through par:: closures and (conservatively) trait-object method \
+                   edges. Any such effect reachable from a root designated under \
+                   `[effects.roots] clockless` in lint.toml (replay, serve, simulate, \
+                   snapshot rotation, feature extraction) is an error, reported at the leaf \
+                   intrinsic with the full root→leaf propagation chain.\n\nFix by injecting \
+                   the dependency at the boundary — serve_timed takes the clock as a closure \
+                   parameter precisely so the core never reads one. A reviewed read whose \
+                   value provably cannot alter results (e.g. a thread-count knob proven \
+                   bit-identical across values by the verify gates) belongs in lint.toml \
+                   with that invariant spelled out. The graph over-approximates: it may \
+                   report a chain type analysis would prune, but it never hides one.",
+        "S110" => "S110 — IO on the epoch-barrier critical path\n\nShard step, mirror \
+                   absorb/rotate, and delta-queue operations run between epoch barriers, \
+                   where every shard's latency is the epoch's latency and a blocking read \
+                   or write stalls the whole round. S110 uses the same effect fixpoint as \
+                   S109 with the IoRead/IoWrite lattice components: filesystem calls \
+                   (std::fs::*, File::open/create) and console writes (println!/eprintln!, \
+                   io::stdout/stderr) reachable from a root designated under \
+                   `[effects.roots] io_free` are errors with full propagation traces.\n\n\
+                   Keep IO at the coordinator boundary — snapshots and metrics are staged \
+                   in memory during the epoch and written outside the barrier. A reviewed \
+                   exception (e.g. a bounded, rotation-only append) needs its bound written \
+                   into lint.toml.",
+        "S111" => "S111 — unordered iteration on a byte-stable export path\n\nSerialized \
+                   artifacts (Snapshot JSON, BENCH_* writers, future persistence images) \
+                   are byte-compared by the verify gates and diffed across machines, so \
+                   every byte must be a pure function of logical state. Iterating a \
+                   HashMap/HashSet anywhere in an export sink's reachable set threads the \
+                   hasher's randomized order into the output bytes. S111 computes the \
+                   NondetIter effect (hash-container iteration, minus the collect-then-sort \
+                   escape) at the fixpoint and reports any leaf reachable from a sink \
+                   designated under `[effects.sinks] byte_stable`, with the sink→leaf \
+                   chain.\n\nFix by iterating ordered containers (BTreeMap/BTreeSet) or \
+                   sorting before emission — D001 already bans the pattern file-locally; \
+                   S111 closes the interprocedural gap and gates the byte-stable format \
+                   contract persistence will depend on.",
+        "S112" => "S112 — thread spawns outside the sanctioned substrate\n\nAll parallelism \
+                   flows through osn_graph::par (deterministic chunked maps, bit-identical \
+                   across thread counts) and the sybil-serve coordinator built on it. A \
+                   thread::spawn or thread::scope anywhere else creates an unreviewed \
+                   concurrency surface: the effect analysis marks the Spawns intrinsic and \
+                   S112 reports every site outside crates/osn-graph/src/par.rs and \
+                   crates/sybil-serve/src/engine.rs, with the chain from the nearest pub \
+                   entry when one reaches it.\n\nRoute the work through a par:: entry (or \
+                   extend par with a reviewed primitive); D003 flags the same tokens \
+                   file-locally, S112 is the call-graph-aware gate that names who exposes \
+                   the spawn.",
         _ => return None,
     })
 }
@@ -297,7 +357,59 @@ fn d001_unordered_iteration(
     in_test: &dyn Fn(u32) -> bool,
     out: &mut Vec<Finding>,
 ) {
-    let src = ctx.src;
+    for site in hash_iteration_sites(ctx.src, toks) {
+        if in_test(site.line) {
+            continue;
+        }
+        let message = match &site.method {
+            Some(name) => format!(
+                "unordered iteration `{}.{name}()` over a HashMap/HashSet; \
+                 use BTreeMap/BTreeSet or sort the items before anything \
+                 order-dependent",
+                site.recv
+            ),
+            None => format!(
+                "unordered `for … in {}` over a HashMap/HashSet; use \
+                 BTreeMap/BTreeSet or sort the items before anything \
+                 order-dependent",
+                site.recv
+            ),
+        };
+        out.push(finding(ctx, "D001", &toks[site.tok], message));
+    }
+}
+
+/// One hash-container iteration site. Shared between D001 (the file-local
+/// ban) and the `NondetIter` effect intrinsic in [`crate::effects`], so
+/// both layers agree on what counts as unordered iteration — including
+/// the collect-then-sort escape, which restores a total order and is
+/// therefore neither a D001 violation nor a nondeterministic effect.
+#[derive(Clone, Debug)]
+pub(crate) struct HashIterSite {
+    /// The iterated binding's name.
+    pub recv: String,
+    /// The iterator method (`iter`, `keys`, …); `None` for `for … in`.
+    pub method: Option<String>,
+    /// Token index of the site (the method name, or the iterated ident).
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl HashIterSite {
+    /// The site the way messages quote it: `m.keys()` or `for … in m`.
+    pub(crate) fn describe(&self) -> String {
+        match &self.method {
+            Some(m) => format!("{}.{m}()", self.recv),
+            None => format!("for … in {}", self.recv),
+        }
+    }
+}
+
+/// Every hash-container iteration site in one file, in token order.
+pub(crate) fn hash_iteration_sites(src: &str, toks: &[Token]) -> Vec<HashIterSite> {
     let hash_idents = collect_hash_typed_idents(src, toks);
     const ITER_METHODS: [&str; 9] = [
         "iter",
@@ -310,11 +422,12 @@ fn d001_unordered_iteration(
         "into_values",
         "drain",
     ];
+    let mut sites: Vec<HashIterSite> = Vec::new();
 
     // Method-call form: `NAME.iter()`, `self.NAME.keys()`, ...
     for i in 2..toks.len() {
         let t = &toks[i];
-        if t.kind != TokKind::Ident || in_test(t.line) {
+        if t.kind != TokKind::Ident {
             continue;
         }
         let name = t.text(src);
@@ -329,16 +442,13 @@ fn d001_unordered_iteration(
             if collected_into_sorted_binding(src, toks, i) {
                 continue;
             }
-            out.push(finding(
-                ctx,
-                "D001",
-                t,
-                format!(
-                    "unordered iteration `{recv}.{name}()` over a HashMap/HashSet; \
-                     use BTreeMap/BTreeSet or sort the items before anything \
-                     order-dependent"
-                ),
-            ));
+            sites.push(HashIterSite {
+                recv: recv.to_string(),
+                method: Some(name.to_string()),
+                tok: i,
+                line: t.line,
+                col: t.col,
+            });
         }
     }
 
@@ -402,21 +512,20 @@ fn d001_unordered_iteration(
             let qualifier_ok = idents[..idents.len() - 1]
                 .iter()
                 .all(|&x| toks[x].text(src) == "self" || !hash_idents.contains(&toks[x].text(src)));
-            if hash_idents.contains(&name) && qualifier_ok && !in_test(toks[last].line) {
-                out.push(finding(
-                    ctx,
-                    "D001",
-                    &toks[last],
-                    format!(
-                        "unordered `for … in {name}` over a HashMap/HashSet; use \
-                         BTreeMap/BTreeSet or sort the items before anything \
-                         order-dependent"
-                    ),
-                ));
+            if hash_idents.contains(&name) && qualifier_ok {
+                sites.push(HashIterSite {
+                    recv: name.to_string(),
+                    method: None,
+                    tok: last,
+                    line: toks[last].line,
+                    col: toks[last].col,
+                });
             }
         }
         i = in_idx + 1;
     }
+    sites.sort_by_key(|s| s.tok);
+    sites
 }
 
 /// The one sanctioned escape from D001 without an allowlist entry: the

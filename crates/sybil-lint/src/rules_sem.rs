@@ -12,14 +12,24 @@
 //! it judges the allowlist itself, not the source.
 
 use crate::callgraph::{CallGraph, Edge};
+use crate::effects::EffectConfig;
 use crate::lexer::lex;
 use crate::parser::{PanicKind, Vis};
 use crate::report::Finding;
 use crate::rules::{test_line_spans_for, FileKind};
 use crate::symbols::{FnIdx, WorkspaceModel};
 
-/// Run S101–S108, returning findings sorted by (path, line, col, rule).
+/// Run S101–S108 plus the effect rules S109–S112 with a default (empty)
+/// effect configuration — no roots or sinks designated, so only S112 of
+/// the effect family can fire. Findings sorted by (path, line, col,
+/// rule).
 pub fn check_workspace(model: &WorkspaceModel) -> Vec<Finding> {
+    check_workspace_with(model, &EffectConfig::default())
+}
+
+/// Run every semantic rule, with the effect-rule roots and sinks taken
+/// from `effects` (parsed out of `lint.toml`'s `[effects.*]` tables).
+pub fn check_workspace_with(model: &WorkspaceModel, effects: &EffectConfig) -> Vec<Finding> {
     let cg = CallGraph::build(model);
     let mut out = Vec::new();
     s101_panic_reachability(model, &cg, &mut out);
@@ -29,6 +39,7 @@ pub fn check_workspace(model: &WorkspaceModel) -> Vec<Finding> {
     s106_unbounded_channels(model, &mut out);
     s107_stringly_errors(model, &mut out);
     s108_hot_path_hash_keys(model, &mut out);
+    crate::effects::check_effects(model, &cg, effects, &mut out);
     out.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
     });

@@ -1,0 +1,153 @@
+//! SARIF 2.1.0 output (`--format sarif`) so findings attach to CI
+//! code-scanning UIs.
+//!
+//! Like the JSON renderer, the document is emitted by hand with a stable
+//! key order and zero dependencies. One `run` carries the full rule
+//! catalog (`tool.driver.rules`, indexed by `ruleIndex`) and one
+//! `result` per finding: unallowlisted violations at `level: "error"`,
+//! allowlisted findings at `level: "note"` with a `suppressions` entry
+//! carrying the lint.toml justification — so a code-scanning UI shows
+//! them as reviewed, not as open alerts. Propagation traces are appended
+//! to the message text, one step per line, matching the human renderer's
+//! `= note:` steps.
+
+use crate::report::{json_str, Finding, Report};
+use crate::rules;
+
+/// Render the report as a SARIF 2.1.0 document.
+pub fn render_sarif(r: &Report) -> String {
+    let catalog: Vec<&str> = rules::ALL_RULES
+        .iter()
+        .chain(rules::SEM_RULES.iter())
+        .copied()
+        .collect();
+    let rule_index = |id: &str| catalog.iter().position(|&c| c == id).unwrap_or(0);
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"sybil-lint\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, id) in catalog.iter().enumerate() {
+        s.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            json_str(id),
+            json_str(rules::rule_summary(id)),
+            if i + 1 < catalog.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+
+    let total = r.violations.len() + r.allowed.len();
+    let mut emitted = 0;
+    let mut push_result = |s: &mut String, f: &Finding, justification: Option<&str>| {
+        let mut text = f.message.clone();
+        for step in &f.trace {
+            text.push('\n');
+            text.push_str(step);
+        }
+        s.push_str("        {\n");
+        s.push_str(&format!("          \"ruleId\": {},\n", json_str(f.rule)));
+        s.push_str(&format!(
+            "          \"ruleIndex\": {},\n",
+            rule_index(f.rule)
+        ));
+        s.push_str(&format!(
+            "          \"level\": {},\n",
+            json_str(if justification.is_some() { "note" } else { "error" })
+        ));
+        s.push_str(&format!(
+            "          \"message\": {{\"text\": {}}},\n",
+            json_str(&text)
+        ));
+        s.push_str("          \"locations\": [\n");
+        s.push_str("            {\"physicalLocation\": {\n");
+        s.push_str(&format!(
+            "              \"artifactLocation\": {{\"uri\": {}}},\n",
+            json_str(&f.path)
+        ));
+        s.push_str(&format!(
+            "              \"region\": {{\"startLine\": {}, \"startColumn\": {}, \
+             \"snippet\": {{\"text\": {}}}}}\n",
+            f.line,
+            f.col,
+            json_str(&f.snippet)
+        ));
+        s.push_str("            }}\n          ]");
+        if let Some(j) = justification {
+            s.push_str(&format!(
+                ",\n          \"suppressions\": [\n            {{\"kind\": \"external\", \
+                 \"justification\": {}}}\n          ]",
+                json_str(j)
+            ));
+        }
+        emitted += 1;
+        s.push_str(&format!(
+            "\n        }}{}\n",
+            if emitted < total { "," } else { "" }
+        ));
+    };
+
+    for f in &r.violations {
+        push_result(&mut s, f, None);
+    }
+    for (f, why) in &r.allowed {
+        push_result(&mut s, f, Some(why));
+    }
+
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_renders_errors_and_suppressed_notes() {
+        let rep = Report {
+            violations: vec![Finding {
+                rule: "S109",
+                path: "crates/x/src/lib.rs".into(),
+                line: 4,
+                col: 9,
+                message: "clock read reachable".into(),
+                snippet: "let t = Instant::now();".into(),
+                trace: vec!["x::serve calls x::tick at crates/x/src/lib.rs:2".into()],
+            }],
+            allowed: vec![(
+                Finding {
+                    rule: "D003",
+                    path: "crates/y/src/b.rs".into(),
+                    line: 7,
+                    col: 1,
+                    message: "Mutex".into(),
+                    snippet: "use std::sync::Mutex;".into(),
+                    trace: Vec::new(),
+                },
+                "memo cache; value-identical under any interleaving".into(),
+            )],
+            unused_allowlist: vec![],
+            files_scanned: 2,
+        };
+        let s = render_sarif(&rep);
+        assert!(s.contains("\"version\": \"2.1.0\""), "{s}");
+        assert!(s.contains("\"ruleId\": \"S109\""), "{s}");
+        assert!(s.contains("\"level\": \"error\""), "{s}");
+        assert!(s.contains("\"level\": \"note\""), "{s}");
+        assert!(s.contains("\"justification\": \"memo cache"), "{s}");
+        assert!(
+            s.contains("clock read reachable\\nx::serve calls x::tick"),
+            "{s}"
+        );
+        assert!(s.contains("\"startLine\": 4"), "{s}");
+        // Every rule appears exactly once in the catalog.
+        for id in rules::ALL_RULES.iter().chain(rules::SEM_RULES.iter()) {
+            assert!(s.contains(&format!("\"id\": \"{id}\"")), "missing {id}");
+        }
+    }
+}

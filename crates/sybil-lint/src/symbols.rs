@@ -94,7 +94,10 @@ impl WorkspaceModel {
         let f = &self.fns[idx];
         let file = &self.files[f.file];
         let mut parts: Vec<&str> = vec![file.crate_name.as_str()];
-        if file.module != file.crate_name {
+        // A crate-root module repeats the crate name (modulo `-` → `_`);
+        // eliding it keeps `osn-sim::simulate` out of doubled forms like
+        // `osn-sim::osn_sim::simulate`.
+        if file.module != file.crate_name.replace('-', "_") {
             parts.push(file.module.as_str());
         }
         for m in &f.def.modules {

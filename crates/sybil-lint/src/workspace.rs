@@ -185,7 +185,10 @@ fn run_impl(files: &[SourceFile], allowlist: &Allowlist, semantic: bool) -> io::
     }
     if semantic {
         let model = WorkspaceModel::build(files, &sources);
-        findings.extend(crate::rules_sem::check_workspace(&model));
+        findings.extend(crate::rules_sem::check_workspace_with(
+            &model,
+            &allowlist.effects,
+        ));
     }
 
     for finding in findings {

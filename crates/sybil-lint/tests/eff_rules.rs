@@ -1,0 +1,434 @@
+//! Effect-rule fixture tests (S109–S112): every fixture asserts the
+//! exact propagation chain its finding carries — including a trait-object
+//! edge, a `par::` closure edge, and an allowlisted sink — plus the
+//! fixpoint order-independence proptest and the SARIF snapshot.
+
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use sybil_lint::callgraph::CallGraph;
+use sybil_lint::effects::{fixpoint, infer, Effect, EffectConfig};
+use sybil_lint::report::Finding;
+use sybil_lint::rules_sem::check_workspace_with;
+use sybil_lint::workspace::{classify, run_workspace, SourceFile};
+use sybil_lint::{allowlist, WorkspaceModel};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Source files of one fixture crate: `(fixture file, workspace-relative
+/// suffix)` pairs mapped into a synthetic `crates/<name>/…` layout.
+fn eff_files(name: &str, layout: &[(&str, &str)]) -> Vec<SourceFile> {
+    layout
+        .iter()
+        .map(|(disk, rel_suffix)| {
+            let rel = format!("crates/{name}/{rel_suffix}");
+            SourceFile {
+                abs: fixture_dir().join(name).join(disk),
+                rel: rel.clone(),
+                crate_name: name.to_string(),
+                kind: classify(&rel),
+            }
+        })
+        .collect()
+}
+
+fn eff_model(name: &str, layout: &[(&str, &str)]) -> WorkspaceModel {
+    let files = eff_files(name, layout);
+    let sources: Vec<String> = files
+        .iter()
+        .map(|f| std::fs::read_to_string(&f.abs).expect("fixture exists"))
+        .collect();
+    WorkspaceModel::build(&files, &sources)
+}
+
+/// Run every semantic rule over a fixture with the given effect config.
+fn eff_findings(name: &str, layout: &[(&str, &str)], cfg: &EffectConfig) -> Vec<Finding> {
+    check_workspace_with(&eff_model(name, layout), cfg)
+}
+
+fn cfg(clockless: &[&str], io_free: &[&str], sinks: &[&str]) -> EffectConfig {
+    let v = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect();
+    EffectConfig {
+        clockless_roots: v(clockless),
+        io_free_roots: v(io_free),
+        byte_stable_sinks: v(sinks),
+    }
+}
+
+const CLOCK: &[(&str, &str)] = &[
+    ("lib.rs", "src/lib.rs"),
+    ("tick.rs", "src/tick.rs"),
+    ("use_api.rs", "tests/use_api.rs"),
+];
+const TRAIT: &[(&str, &str)] =
+    &[("lib.rs", "src/lib.rs"), ("use_api.rs", "tests/use_api.rs")];
+const PAR: &[(&str, &str)] = &[
+    ("lib.rs", "src/lib.rs"),
+    ("cfg.rs", "src/cfg.rs"),
+    ("use_api.rs", "tests/use_api.rs"),
+];
+const IO: &[(&str, &str)] = &[
+    ("lib.rs", "src/lib.rs"),
+    ("journal.rs", "src/journal.rs"),
+    ("use_api.rs", "tests/use_api.rs"),
+];
+const EXPORT: &[(&str, &str)] = &[
+    ("lib.rs", "src/lib.rs"),
+    ("export.rs", "src/export.rs"),
+    ("use_api.rs", "tests/use_api.rs"),
+];
+const ONE: &[(&str, &str)] =
+    &[("lib.rs", "src/lib.rs"), ("use_api.rs", "tests/use_api.rs")];
+
+// ---------------------------------------------------------------------
+// S109: wall-clock/env/thread-id effects reachable from clockless roots.
+
+#[test]
+fn s109_clock_reports_two_edge_chain() {
+    let f = eff_findings(
+        "eff_clock_bad",
+        CLOCK,
+        &cfg(&["eff_clock_bad::serve"], &[], &[]),
+    );
+    assert_eq!(f.len(), 1, "{f:#?}");
+    let v = &f[0];
+    assert_eq!(v.rule, "S109");
+    assert_eq!(v.path, "crates/eff_clock_bad/src/tick.rs");
+    assert_eq!(v.line, 8);
+    assert_eq!(
+        v.message,
+        "`Instant::now()` (wall-clock read) is reachable from \
+         deterministic-core root `eff_clock_bad::serve` (2 calls away); \
+         inject the value at the boundary (see serve_timed) or allowlist \
+         with the invariant that keeps replay bit-identical"
+    );
+    assert_eq!(
+        v.trace,
+        vec![
+            "eff_clock_bad::serve calls eff_clock_bad::tick::advance at \
+             crates/eff_clock_bad/src/lib.rs:10"
+                .to_string(),
+            "eff_clock_bad::tick::advance calls eff_clock_bad::tick::now_ms at \
+             crates/eff_clock_bad/src/tick.rs:4"
+                .to_string(),
+            "eff_clock_bad::tick::now_ms reads the wall clock via `Instant::now()` at \
+             crates/eff_clock_bad/src/tick.rs:8"
+                .to_string(),
+        ],
+        "{v:#?}"
+    );
+}
+
+#[test]
+fn s109_silent_without_root_config() {
+    let f = eff_findings("eff_clock_bad", CLOCK, &EffectConfig::default());
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn s109_trait_object_edge() {
+    let f = eff_findings(
+        "eff_trait_bad",
+        TRAIT,
+        &cfg(&["eff_trait_bad::replay"], &[], &[]),
+    );
+    assert_eq!(f.len(), 1, "{f:#?}");
+    let v = &f[0];
+    assert_eq!(v.rule, "S109");
+    assert_eq!(v.path, "crates/eff_trait_bad/src/lib.rs");
+    assert_eq!(v.line, 14);
+    assert_eq!(
+        v.message,
+        "`SystemTime` (wall-clock read) is reachable from \
+         deterministic-core root `eff_trait_bad::replay` (1 call away); \
+         inject the value at the boundary (see serve_timed) or allowlist \
+         with the invariant that keeps replay bit-identical"
+    );
+    assert_eq!(
+        v.trace,
+        vec![
+            "eff_trait_bad::replay calls eff_trait_bad::Wall::sample at \
+             crates/eff_trait_bad/src/lib.rs:20"
+                .to_string(),
+            "eff_trait_bad::Wall::sample reads the wall clock via `SystemTime` at \
+             crates/eff_trait_bad/src/lib.rs:14"
+                .to_string(),
+        ],
+        "{v:#?}"
+    );
+}
+
+#[test]
+fn s109_par_closure_edge_is_annotated() {
+    let f = eff_findings(
+        "eff_par_bad",
+        PAR,
+        &cfg(&["eff_par_bad::sweep"], &[], &[]),
+    );
+    assert_eq!(f.len(), 1, "{f:#?}");
+    let v = &f[0];
+    assert_eq!(v.rule, "S109");
+    assert_eq!(v.path, "crates/eff_par_bad/src/cfg.rs");
+    assert_eq!(v.line, 2);
+    assert_eq!(
+        v.message,
+        "`env::var` (environment read) is reachable from \
+         deterministic-core root `eff_par_bad::sweep` (2 calls away); \
+         inject the value at the boundary (see serve_timed) or allowlist \
+         with the invariant that keeps replay bit-identical"
+    );
+    assert_eq!(
+        v.trace,
+        vec![
+            "eff_par_bad::sweep calls eff_par_bad::seed_of from inside the \
+             `par::map_slice` closure at crates/eff_par_bad/src/lib.rs:7"
+                .to_string(),
+            "eff_par_bad::seed_of calls eff_par_bad::cfg::seed at \
+             crates/eff_par_bad/src/lib.rs:11"
+                .to_string(),
+            "eff_par_bad::cfg::seed reads the environment via `env::var` at \
+             crates/eff_par_bad/src/cfg.rs:2"
+                .to_string(),
+        ],
+        "{v:#?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// S110: IO effects reachable from the epoch-barrier critical path.
+
+#[test]
+fn s110_io_write_reports_chain() {
+    let f = eff_findings("eff_io_bad", IO, &cfg(&[], &["eff_io_bad::step"], &[]));
+    assert_eq!(f.len(), 1, "{f:#?}");
+    let v = &f[0];
+    assert_eq!(v.rule, "S110");
+    assert_eq!(v.path, "crates/eff_io_bad/src/journal.rs");
+    assert_eq!(v.line, 2);
+    assert_eq!(
+        v.message,
+        "`fs::write` (IO write) is reachable from epoch-barrier path root \
+         `eff_io_bad::step` (1 call away); hoist the IO out of the barrier \
+         (stage bytes before, flush after) or allowlist with the blocking bound"
+    );
+    assert_eq!(
+        v.trace,
+        vec![
+            "eff_io_bad::step calls eff_io_bad::journal::record at \
+             crates/eff_io_bad/src/lib.rs:6"
+                .to_string(),
+            "eff_io_bad::journal::record performs IO write via `fs::write` at \
+             crates/eff_io_bad/src/journal.rs:2"
+                .to_string(),
+        ],
+        "{v:#?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// S111: unordered hash iteration reachable from byte-stable sinks.
+
+#[test]
+fn s111_nondet_iter_reports_chain() {
+    let f = eff_findings(
+        "eff_export_bad",
+        EXPORT,
+        &cfg(&[], &[], &["eff_export_bad::export::to_json"]),
+    );
+    assert_eq!(f.len(), 1, "{f:#?}");
+    let v = &f[0];
+    assert_eq!(v.rule, "S111");
+    assert_eq!(v.path, "crates/eff_export_bad/src/export.rs");
+    assert_eq!(v.line, 9);
+    assert_eq!(
+        v.message,
+        "`for … in metrics` (unordered hash iteration) is reachable from \
+         byte-stable export sink `eff_export_bad::export::to_json` \
+         (1 call away); iterate a BTree container or collect-and-sort \
+         before serializing so the exported bytes are order-stable"
+    );
+    assert_eq!(
+        v.trace,
+        vec![
+            "eff_export_bad::export::to_json calls eff_export_bad::export::render at \
+             crates/eff_export_bad/src/export.rs:4"
+                .to_string(),
+            "eff_export_bad::export::render iterates unordered via `for … in metrics` \
+             at crates/eff_export_bad/src/export.rs:9"
+                .to_string(),
+        ],
+        "{v:#?}"
+    );
+}
+
+#[test]
+fn s111_allowlisted_sink_is_suppressed_with_justification() {
+    let toml = r#"
+[effects.sinks]
+byte_stable = [
+    "eff_export_bad::export::to_json",
+]
+
+[[allow]]
+rule = "S111"
+path = "crates/eff_export_bad/src/export.rs"
+justification = "fixture: hash order is reviewed as irrelevant to this export"
+
+[[allow]]
+rule = "D001"
+path = "crates/eff_export_bad/src/export.rs"
+justification = "fixture: same reviewed iteration, flagged by the token rule too"
+"#;
+    let allow = allowlist::parse(toml).expect("valid toml");
+    assert_eq!(
+        allow.effects.byte_stable_sinks,
+        vec!["eff_export_bad::export::to_json".to_string()]
+    );
+    let rep = run_workspace(&eff_files("eff_export_bad", EXPORT), &allow).unwrap();
+    assert!(rep.is_clean(), "{:#?}", rep.violations);
+    assert_eq!(rep.allowed.len(), 2, "{:#?}", rep.allowed);
+    let (s111, just) = rep
+        .allowed
+        .iter()
+        .find(|(f, _)| f.rule == "S111")
+        .expect("S111 suppressed");
+    assert_eq!(s111.path, "crates/eff_export_bad/src/export.rs");
+    assert!(just.contains("reviewed as irrelevant"));
+    assert!(rep.unused_allowlist.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// S112: spawns outside the sanctioned scheduler files (no config needed).
+
+#[test]
+fn s112_spawn_outside_sanctioned_files() {
+    let f = eff_findings("eff_spawn_bad", ONE, &EffectConfig::default());
+    assert_eq!(f.len(), 1, "{f:#?}");
+    let v = &f[0];
+    assert_eq!(v.rule, "S112");
+    assert_eq!(v.path, "crates/eff_spawn_bad/src/lib.rs");
+    assert_eq!(v.line, 5);
+    assert_eq!(
+        v.message,
+        "`thread::scope` spawns outside the sanctioned scheduler files \
+         (osn_graph::par, sybil-serve's coordinator); route parallelism \
+         through `par::` so the capture and reduction rules can see it"
+    );
+    assert_eq!(
+        v.trace,
+        vec![
+            "eff_spawn_bad::fanout spawns a thread via `thread::scope` at \
+             crates/eff_spawn_bad/src/lib.rs:5, outside the sanctioned \
+             scheduler files"
+                .to_string(),
+        ],
+        "{v:#?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Clean fixture: root + sink designation with no effects stays silent.
+
+#[test]
+fn eff_clean_is_silent_as_root_and_sink() {
+    let f = eff_findings(
+        "eff_clean",
+        ONE,
+        &cfg(
+            &["eff_clean::serve"],
+            &["eff_clean::serve"],
+            &["eff_clean::serve"],
+        ),
+    );
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+// ---------------------------------------------------------------------
+// The inference layer directly: inferred sets and confined ancestry.
+
+#[test]
+fn inferred_effects_flow_to_the_root() {
+    let model = eff_model("eff_clock_bad", CLOCK);
+    let cg = CallGraph::build(&model);
+    let em = infer(&model, &cg);
+    let serve = (0..model.fns.len())
+        .find(|&i| model.fq_name(i) == "eff_clock_bad::serve")
+        .expect("serve exists");
+    let now_ms = (0..model.fns.len())
+        .find(|&i| model.fq_name(i) == "eff_clock_bad::tick::now_ms")
+        .expect("now_ms exists");
+    assert!(em.intrinsic[now_ms].contains(Effect::ReadsWallClock));
+    assert!(em.intrinsic[serve].is_empty());
+    assert!(em.inferred[serve].contains(Effect::ReadsWallClock));
+    // Ancestry confined by `admit`: forbidding every intermediate node
+    // leaves the intrinsic function rootless.
+    assert!(cg
+        .nearest_ancestor_where(now_ms, |i| i == serve, |_| false)
+        .is_none());
+    assert!(cg
+        .nearest_ancestor_where(now_ms, |i| i == serve, |_| true)
+        .is_some());
+}
+
+// ---------------------------------------------------------------------
+// Fixpoint order independence: the join is a set union, so every visit
+// order reaches the same least fixpoint.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn fixpoint_is_visit_order_independent(
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 0..32),
+        intr in proptest::collection::vec(0u16..=255, 8),
+        keys1 in proptest::collection::vec(0u32..1000, 8),
+        keys2 in proptest::collection::vec(0u32..1000, 8),
+    ) {
+        // Random sort keys induce arbitrary visit-order permutations.
+        let perm = |keys: &[u32]| {
+            let mut order: Vec<usize> = (0..8).collect();
+            order.sort_by_key(|&i| (keys[i], i));
+            order
+        };
+        let (order1, order2) = (perm(&keys1), perm(&keys2));
+        let mut out = vec![Vec::new(); 8];
+        for &(a, b) in &edges {
+            out[a].push(b);
+        }
+        let a = fixpoint(&out, &intr, &order1);
+        let b = fixpoint(&out, &intr, &order2);
+        prop_assert_eq!(&a, &b);
+        // The fixpoint is sound: every function includes its own
+        // intrinsics and each callee's final set.
+        for f in 0..8 {
+            prop_assert_eq!(a[f] & intr[f], intr[f]);
+            for &g in &out[f] {
+                prop_assert_eq!(a[f] & a[g], a[g]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SARIF snapshot over a fixture workspace.
+
+#[test]
+fn sarif_snapshot_matches_fixture() {
+    let allow = allowlist::Allowlist {
+        entries: Vec::new(),
+        effects: cfg(&["eff_clock_bad::serve"], &[], &[]),
+    };
+    let rep = run_workspace(&eff_files("eff_clock_bad", CLOCK), &allow).unwrap();
+    let sarif = sybil_lint::sarif::render_sarif(&rep);
+    let expected_path = fixture_dir().join("eff_clock_bad/expected.sarif");
+    if std::env::var_os("EFF_SARIF_REGEN").is_some() {
+        std::fs::write(&expected_path, &sarif).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path).expect("snapshot exists");
+    assert_eq!(
+        sarif, expected,
+        "SARIF output drifted from the committed snapshot; if the change \
+         is intentional, rerun this test with EFF_SARIF_REGEN=1"
+    );
+}

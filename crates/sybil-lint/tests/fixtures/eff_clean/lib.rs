@@ -1,0 +1,18 @@
+//! GOOD: the root takes its clock as a parameter, iterates an ordered
+//! container, and performs no IO — every effect rule stays quiet even
+//! with the function designated as root *and* sink.
+
+use std::collections::BTreeMap;
+
+pub fn serve(now_ms: u64, metrics: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in metrics {
+        out.push_str(k);
+        out.push('=');
+        out.push_str(&v.to_string());
+        out.push('@');
+        out.push_str(&now_ms.to_string());
+        out.push(';');
+    }
+    out
+}

@@ -1,0 +1,13 @@
+//! BAD: the clockless root `serve` reaches `Instant::now` two calls down.
+
+#![forbid(unsafe_code)]
+
+pub mod tick;
+
+pub fn serve(epochs: u32) -> u64 {
+    let mut acc = 0;
+    for _ in 0..epochs {
+        acc += tick::advance();
+    }
+    acc
+}

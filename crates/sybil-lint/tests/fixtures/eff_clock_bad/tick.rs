@@ -1,0 +1,10 @@
+use std::time::Instant;
+
+pub fn advance() -> u64 {
+    now_ms()
+}
+
+fn now_ms() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_millis() as u64
+}

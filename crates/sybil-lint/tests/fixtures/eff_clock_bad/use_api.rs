@@ -1,0 +1,5 @@
+// Keeps the fixture's exports alive for S104: serve, advance.
+
+fn main() {
+    let _ = (eff_clock_bad::serve(1), eff_clock_bad::tick::advance());
+}

@@ -1,0 +1,17 @@
+use std::collections::HashMap;
+
+pub fn to_json(metrics: &HashMap<String, u64>) -> String {
+    render(metrics)
+}
+
+fn render(metrics: &HashMap<String, u64>) -> String {
+    let mut out = String::from("{");
+    for (k, v) in metrics {
+        out.push_str(k);
+        out.push(':');
+        out.push_str(&v.to_string());
+        out.push(',');
+    }
+    out.push('}');
+    out
+}

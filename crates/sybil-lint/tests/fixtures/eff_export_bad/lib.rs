@@ -1,0 +1,6 @@
+//! BAD: the byte-stable sink `to_json` reaches unordered HashMap
+//! iteration one call down, so the exported bytes depend on hash order.
+
+#![forbid(unsafe_code)]
+
+pub mod export;

@@ -1,0 +1,5 @@
+// Keeps the fixture's exports alive for S104: to_json.
+
+fn main() {
+    let _ = eff_export_bad::export::to_json(&Default::default());
+}

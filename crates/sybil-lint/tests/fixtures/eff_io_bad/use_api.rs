@@ -1,0 +1,5 @@
+// Keeps the fixture's exports alive for S104: step, record.
+
+fn main() {
+    let _ = (eff_io_bad::step(&[]), eff_io_bad::journal::record(&[]));
+}

@@ -1,0 +1,6 @@
+pub fn seed() -> u64 {
+    match std::env::var("EFF_SEED") {
+        Ok(v) => v.parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}

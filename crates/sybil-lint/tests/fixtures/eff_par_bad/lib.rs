@@ -1,0 +1,12 @@
+//! BAD: the clockless root `sweep` reaches `env::var` through a call made
+//! inside a `par::map_slice` closure.
+
+pub mod cfg;
+
+pub fn sweep(items: &[u32]) -> Vec<u64> {
+    par::map_slice(items, |xs| xs.iter().map(|&x| seed_of(x)).collect())
+}
+
+fn seed_of(x: u32) -> u64 {
+    cfg::seed() + x as u64
+}

@@ -1,0 +1,5 @@
+// Keeps the fixture's exports alive for S104: sweep, seed.
+
+fn main() {
+    let _ = (eff_par_bad::sweep(&[1]), eff_par_bad::cfg::seed());
+}

@@ -1,0 +1,12 @@
+//! BAD: spawns threads outside the sanctioned scheduler files.
+
+pub fn fanout(n: usize) -> usize {
+    let mut done = 0;
+    std::thread::scope(|s| {
+        for _ in 0..n {
+            s.spawn(|| {});
+        }
+        done = n;
+    });
+    done
+}

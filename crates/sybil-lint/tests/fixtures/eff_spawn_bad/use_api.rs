@@ -1,0 +1,5 @@
+// Keeps the fixture's exports alive for S104: fanout.
+
+fn main() {
+    let _ = eff_spawn_bad::fanout(2);
+}

@@ -1,0 +1,21 @@
+//! BAD: the clockless root `replay` reaches `SystemTime` through a
+//! trait-object method call (resolved conservatively by name).
+
+use std::time::SystemTime;
+
+pub trait Source {
+    fn sample(&self) -> u64;
+}
+
+pub struct Wall;
+
+impl Source for Wall {
+    fn sample(&self) -> u64 {
+        let now = SystemTime::now();
+        now.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+    }
+}
+
+pub fn replay(src: &dyn Source) -> u64 {
+    src.sample()
+}

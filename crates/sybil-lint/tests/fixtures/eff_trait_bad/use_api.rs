@@ -1,0 +1,6 @@
+// Keeps the fixture's exports alive for S104: Source, Wall, replay.
+
+fn main() {
+    let _ = eff_trait_bad::replay(&eff_trait_bad::Wall);
+    let _: Option<&dyn eff_trait_bad::Source> = None;
+}
