@@ -27,6 +27,16 @@ pub enum Error {
     Read(osn_graph::io::ReadError),
     /// An underlying I/O failure outside the edge-list reader.
     Io(std::io::Error),
+    /// A count or id exceeded the u32 range the serving substrate's
+    /// id-packing contract requires (node ids, per-window counts, and
+    /// queue depths all travel as `u32` end to end; see
+    /// [`crate::ids`]).
+    IdOverflow {
+        /// What was being converted, e.g. `"request log index"`.
+        what: &'static str,
+        /// The out-of-range value.
+        value: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -38,6 +48,9 @@ impl fmt::Display for Error {
             Error::Graph(e) => write!(f, "graph error: {e}"),
             Error::Read(e) => write!(f, "read error: {e}"),
             Error::Io(e) => write!(f, "io error: {e}"),
+            Error::IdOverflow { what, value } => {
+                write!(f, "id overflow: {what} = {value} does not fit in u32")
+            }
         }
     }
 }
@@ -49,6 +62,7 @@ impl std::error::Error for Error {
             Error::Graph(e) => Some(e),
             Error::Read(e) => Some(e),
             Error::Io(e) => Some(e),
+            Error::IdOverflow { .. } => None,
         }
     }
 }

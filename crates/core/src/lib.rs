@@ -27,6 +27,7 @@ pub mod adaptive;
 pub mod bayes;
 pub mod error;
 pub mod eval;
+pub mod ids;
 pub mod logistic;
 pub mod realtime;
 pub mod svm;

@@ -49,7 +49,12 @@ impl AccountState {
         while self.recent_sends.front().is_some_and(|&s| s <= cutoff) {
             self.recent_sends.pop_front();
         }
-        self.peak_1h = self.peak_1h.max(self.recent_sends.len() as u32);
+        // Saturating, not `as`: the window length is bounded by sends per
+        // hour in practice, and a clamped peak stays a true upper bound
+        // where a truncating cast would wrap to a small (wrong) one.
+        self.peak_1h = self
+            .peak_1h
+            .max(crate::ids::saturating_u32(self.recent_sends.len()));
     }
 
     /// An outgoing request was accepted: `to` becomes a friend.

@@ -163,6 +163,9 @@ pub struct MergeScratch {
     grouped: Vec<(u32, u32, Timestamp)>,
     /// One block's additions, row-sorted, handed to the rebuild.
     block: Vec<(u32, u32, Timestamp)>,
+    /// One row's additions sorted by neighbor id, recycled across every
+    /// row of every rebuilt block instead of allocating per row.
+    tail: Vec<(u32, Timestamp)>,
 }
 
 impl CsrSnapshot {
@@ -449,15 +452,21 @@ impl CsrSnapshot {
                 ms.block[row_starts[l] as usize] = (v, nbr, t);
                 row_starts[l] += 1;
             }
-            self.rebuild_block(b, &ms.block);
+            self.rebuild_block(b, &ms.block, &mut ms.tail);
         }
         self.num_edges += additions.len();
     }
 
     /// Re-materialize one block, merging `adds` (half-edges sorted by row,
     /// stream-ordered within a row, all rows inside this block) into its
-    /// columns.
-    fn rebuild_block(&mut self, blk: usize, adds: &[(u32, u32, Timestamp)]) {
+    /// columns. `tail` is caller-owned row scratch (see [`MergeScratch`]),
+    /// cleared per row here.
+    fn rebuild_block(
+        &mut self,
+        blk: usize,
+        adds: &[(u32, u32, Timestamp)],
+        tail: &mut Vec<(u32, Timestamp)>,
+    ) {
         let old = &self.blocks[blk];
         let rows = old.rows();
         let b0 = blk * BLOCK_ROWS;
@@ -471,7 +480,6 @@ impl CsrSnapshot {
         };
         nb.offsets.push(0);
         let mut a = 0usize;
-        let mut tail: Vec<(u32, Timestamp)> = Vec::new();
         for l in 0..rows {
             let v = (b0 + l) as u32;
             let r = old.row(l);

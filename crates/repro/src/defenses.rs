@@ -173,7 +173,7 @@ impl Defenses {
             "Injected: honest rejected",
         ]);
         for r in &self.rows {
-            t.row([
+            t.add_row([
                 r.name.clone(),
                 pct(r.wild.sybil_acceptance_rate()),
                 pct(r.wild.honest_rejection_rate()),

@@ -88,7 +88,7 @@ impl Deployment {
             ("static", &self.static_report),
             ("adaptive", &self.adaptive_report),
         ] {
-            t.row([
+            t.add_row([
                 name.to_string(),
                 r.detections.len().to_string(),
                 r.true_positives.to_string(),

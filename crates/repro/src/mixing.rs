@@ -64,12 +64,12 @@ impl Mixing {
     /// Render the comparison.
     pub fn render(&self) -> String {
         let mut t = Table::new(["Quantity", "Wild graph", "Injected-cluster graph"]);
-        t.row([
+        t.add_row([
             "spectral gap (lazy walk)".to_string(),
             format!("{:.4}", self.wild_gap),
             format!("{:.4}", self.injected_gap),
         ]);
-        t.row([
+        t.add_row([
             "P(8-step walk escapes Sybil set)".to_string(),
             format!("{:.2}", self.wild_escape),
             format!("{:.2}", self.injected_escape),

@@ -96,7 +96,7 @@ impl Reach {
             for (_, reach) in &r.reach {
                 row.push(format!("{reach:.0}"));
             }
-            t.row(row);
+            t.add_row(row);
         }
         let mut out = String::from(
             "Spam reach — cascades seeded at each component's audience (§2.1 motivation)\n\n",

@@ -159,7 +159,7 @@ impl ServeRun {
                 self.matches_replay_adaptive,
             ),
         ] {
-            t.row([
+            t.add_row([
                 name.to_string(),
                 r.detections.len().to_string(),
                 fmt_catch_rate(r.catch_rate()),

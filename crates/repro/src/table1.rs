@@ -57,14 +57,14 @@ impl Table1 {
             "Thr: Sybil",
             "Thr: Non-Sybil",
         ]);
-        t.row([
+        t.add_row([
             "True Sybil".to_string(),
             pct(self.svm.sybil_recall()),
             pct(1.0 - self.svm.sybil_recall()),
             pct(self.threshold.sybil_recall()),
             pct(1.0 - self.threshold.sybil_recall()),
         ]);
-        t.row([
+        t.add_row([
             "True Non-Sybil".to_string(),
             pct(self.svm.false_positive_rate()),
             pct(self.svm.normal_recall()),

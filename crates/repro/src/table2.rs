@@ -55,7 +55,7 @@ impl Table2 {
     pub fn render(&self) -> String {
         let mut t = Table::new(["Sybils", "Sybil Edges", "Attack Edges", "Audience"]);
         for r in &self.rows {
-            t.row([
+            t.add_row([
                 r.sybils.to_string(),
                 r.sybil_edges.to_string(),
                 r.attack_edges.to_string(),

@@ -93,7 +93,7 @@ impl Table3 {
             "SybilEdge%",
         ]);
         for r in &self.rows {
-            t.row([
+            t.add_row([
                 r.name.clone(),
                 r.platform.clone(),
                 r.cost.clone(),

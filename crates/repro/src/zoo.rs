@@ -116,7 +116,7 @@ impl Zoo {
             "AUC",
         ]);
         for r in &self.rows {
-            t.row([
+            t.add_row([
                 r.name.clone(),
                 format!("{:.2}%", 100.0 * r.matrix.accuracy()),
                 format!("{:.2}%", 100.0 * r.matrix.sybil_recall()),

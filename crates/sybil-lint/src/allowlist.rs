@@ -31,16 +31,25 @@
 //! byte_stable = ["sybil-obs::Snapshot::*"]
 //! ```
 //!
+//! and the per-event hot-path cores for the cost rules S113–S117 (see
+//! [`crate::costs`]):
+//!
+//! ```toml
+//! [hotpaths.roots]
+//! per_event = ["sybil-serve::shard::ShardState::run_epoch"]
+//! ```
+//!
 //! Values are arrays of fully qualified function names, exact or
 //! trailing-`*` prefix patterns; arrays may span multiple lines.
 
+use crate::costs::HotPathConfig;
 use crate::effects::EffectConfig;
 use crate::report::Finding;
 
 /// One reviewed exception.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Rule code the entry silences (`D001`…`D006`, `S101`…`S112`).
+    /// Rule code the entry silences (`D001`…`D006`, `S101`…`S117`).
     pub rule: String,
     /// Workspace-relative path the entry applies to.
     pub path: String,
@@ -60,6 +69,8 @@ pub struct Allowlist {
     pub entries: Vec<AllowEntry>,
     /// Effect-rule roots and sinks from the `[effects.*]` tables.
     pub effects: EffectConfig,
+    /// Cost-rule hot-path roots from the `[hotpaths.roots]` table.
+    pub hotpaths: HotPathConfig,
 }
 
 impl Allowlist {
@@ -127,12 +138,14 @@ impl ParseError {
 enum EffTable {
     Roots,
     Sinks,
+    HotRoots,
 }
 
 /// Parse `lint.toml` content. Errors carry the offending line number.
 pub fn parse(content: &str) -> Result<Allowlist, ParseError> {
     let mut entries: Vec<AllowEntry> = Vec::new();
     let mut effects = EffectConfig::default();
+    let mut hotpaths = HotPathConfig::default();
     let mut cur: Option<PartialEntry> = None;
     let mut table: Option<EffTable> = None;
     let lines: Vec<&str> = content.lines().collect();
@@ -162,12 +175,13 @@ pub fn parse(content: &str) -> Result<Allowlist, ParseError> {
             table = match line.as_str() {
                 "[effects.roots]" => Some(EffTable::Roots),
                 "[effects.sinks]" => Some(EffTable::Sinks),
+                "[hotpaths.roots]" => Some(EffTable::HotRoots),
                 _ => {
                     return Err(ParseError::at(
                         lineno,
                         format!(
                             "unknown table {line:?} (supported: [[allow]], \
-                             [effects.roots], [effects.sinks])"
+                             [effects.roots], [effects.sinks], [hotpaths.roots])"
                         ),
                     ))
                 }
@@ -194,6 +208,7 @@ pub fn parse(content: &str) -> Result<Allowlist, ParseError> {
                 (EffTable::Roots, "clockless") => &mut effects.clockless_roots,
                 (EffTable::Roots, "io_free") => &mut effects.io_free_roots,
                 (EffTable::Sinks, "byte_stable") => &mut effects.byte_stable_sinks,
+                (EffTable::HotRoots, "per_event") => &mut hotpaths.per_event_roots,
                 (EffTable::Roots, _) => {
                     return Err(ParseError::at(
                         lineno,
@@ -204,6 +219,12 @@ pub fn parse(content: &str) -> Result<Allowlist, ParseError> {
                     return Err(ParseError::at(
                         lineno,
                         format!("unknown key {key:?} in [effects.sinks] (allowed: byte_stable)"),
+                    ))
+                }
+                (EffTable::HotRoots, _) => {
+                    return Err(ParseError::at(
+                        lineno,
+                        format!("unknown key {key:?} in [hotpaths.roots] (allowed: per_event)"),
                     ))
                 }
             };
@@ -240,7 +261,11 @@ pub fn parse(content: &str) -> Result<Allowlist, ParseError> {
         let end = lines.len();
         entries.push(p.finish(end)?);
     }
-    Ok(Allowlist { entries, effects })
+    Ok(Allowlist {
+        entries,
+        effects,
+        hotpaths,
+    })
 }
 
 /// Parse a `["a", "b", …]` string array (already joined onto one line).

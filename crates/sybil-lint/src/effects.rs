@@ -153,7 +153,8 @@ pub struct EffectConfig {
 
 impl EffectConfig {
     /// Does `fq` match any pattern in `pats` (exact, or `prefix*`)?
-    fn matches(pats: &[String], fq: &str) -> bool {
+    /// Shared with the cost layer's `[hotpaths.roots]` patterns.
+    pub(crate) fn matches(pats: &[String], fq: &str) -> bool {
         pats.iter().any(|p| match p.strip_suffix('*') {
             Some(prefix) => fq.starts_with(prefix),
             None => p == fq,
@@ -328,7 +329,7 @@ const PRINT_MACROS: [&str; 5] = ["println", "print", "eprintln", "eprint", "dbg"
 /// Is token `i` the last segment of a `qual::…::i` path whose segment
 /// immediately before it is `qual`? Matches both `env::var` and
 /// `std::env::var` (only the adjacent qualifier is checked).
-fn path_prefixed(src: &str, toks: &[Token], i: usize, qual: &str) -> bool {
+pub(crate) fn path_prefixed(src: &str, toks: &[Token], i: usize, qual: &str) -> bool {
     let Some(j) = i.checked_sub(3) else {
         return false;
     };
@@ -564,7 +565,7 @@ pub(crate) fn check_effects(
 /// One forward edge as a trace step, annotating calls made from inside a
 /// `par::` closure (the parser attributes those calls to the enclosing
 /// function, so the plain rendering would hide the thread boundary).
-fn edge_step_eff(model: &WorkspaceModel, e: &Edge) -> String {
+pub(crate) fn edge_step_eff(model: &WorkspaceModel, e: &Edge) -> String {
     let def = &model.fns[e.from].def;
     let callee = &model.fns[e.to].def.name;
     for pc in &def.par_calls {

@@ -16,7 +16,13 @@
 //! ([`effects`]) generalizes those per-rule searches into one
 //! interprocedural analysis: per-function effect sets inferred from leaf
 //! intrinsics and propagated to a fixpoint, with roots and sinks
-//! designated in `lint.toml`'s `[effects.*]` tables.
+//! designated in `lint.toml`'s `[effects.*]` tables. The cost layer
+//! ([`costs`]) reuses the same fixpoint machinery over a cost lattice
+//! (allocation, growth, scans, blocking, recursion) and adds loop
+//! context ([`loops`]): sites are judged against the per-event hot
+//! loops under the `[hotpaths.roots]` cores, so a once-per-epoch
+//! allocation is amortized noise while the same allocation inside the
+//! event scan is an S113 error.
 //!
 //! The rules:
 //!
@@ -40,6 +46,11 @@
 //! | S110 | no IO effects reachable from the epoch-barrier critical path |
 //! | S111 | no unordered hash iteration reachable from byte-stable sinks |
 //! | S112 | no thread spawns outside the sanctioned scheduler files |
+//! | S113 | no allocation inside a per-event hot loop (recycle scratch) |
+//! | S114 | no monotonic collection growth across the epoch loop |
+//! | S115 | no truncating `as` casts reachable from hot paths |
+//! | S116 | no blocking acquisition reachable from a hot loop |
+//! | S117 | no recursion reachable from a hot path |
 //!
 //! No external parser dependencies: the lexer is ~300 lines, the item
 //! parser ~700, and the TOML allowlist reader handles exactly the subset
@@ -50,8 +61,10 @@
 
 pub mod allowlist;
 pub mod callgraph;
+pub mod costs;
 pub mod effects;
 pub mod lexer;
+pub mod loops;
 pub mod parser;
 pub mod report;
 pub mod rules;

@@ -42,9 +42,9 @@ pub const ALL_RULES: [&str; 6] = ["D001", "D002", "D003", "D004", "D005", "D006"
 
 /// All semantic (call-graph) rule codes, in order. These run only with
 /// `--workspace`, because they need every file to resolve calls.
-pub const SEM_RULES: [&str; 12] = [
+pub const SEM_RULES: [&str; 17] = [
     "S101", "S102", "S103", "S104", "S105", "S106", "S107", "S108", "S109", "S110", "S111",
-    "S112",
+    "S112", "S113", "S114", "S115", "S116", "S117",
 ];
 
 /// Is `code` any rule this tool knows (token or semantic)?
@@ -73,6 +73,11 @@ pub fn rule_summary(code: &str) -> &'static str {
         "S110" => "IO effect reachable from the epoch-barrier critical path",
         "S111" => "unordered hash iteration reachable from a byte-stable export sink",
         "S112" => "thread spawn outside osn_graph::par and sybil-serve's coordinator",
+        "S113" => "allocation inside a per-event hot loop (no recycled-scratch justification)",
+        "S114" => "monotonic collection growth across the epoch loop (push/insert, no drain)",
+        "S115" => "truncating `as` cast on id/count types reachable from a hot path",
+        "S116" => "blocking acquisition (lock / recv / wait) reachable from a hot loop",
+        "S117" => "recursion reachable from a hot path (unbounded stack and work)",
         _ => "unknown rule",
     }
 }
@@ -225,6 +230,75 @@ pub fn rule_explanation(code: &str) -> Option<&'static str> {
                    extend par with a reviewed primitive); D003 flags the same tokens \
                    file-locally, S112 is the call-graph-aware gate that names who exposes \
                    the spawn.",
+        "S113" => "S113 — allocation inside a per-event hot loop\n\nPR 6 measured the \
+                   serving critical path being dominated by memory behavior: recycling \
+                   scratch buffers took 8-shard 5M serving from 35s to ~18s. S113 guards \
+                   that win. The cost layer infers, for every library function, whether it \
+                   (transitively) allocates — Vec/HashMap/String constructors, Box::new, \
+                   vec!/format!, .clone()/.collect()/.to_vec() — by propagating leaf \
+                   intrinsics to a fixpoint over the call graph, exactly like the S109 \
+                   effect analysis. A loop pass then recovers each function's loop spans, \
+                   and any allocation that runs *inside a per-event hot loop* — in the \
+                   loop body of a `[hotpaths.roots]` core, or in any function such a loop \
+                   (transitively) calls — is an error, reported at the leaf with the full \
+                   root→leaf chain.\n\nFix by hoisting the buffer out of the loop into \
+                   caller-owned scratch (NeighborScratch, MergeScratch, and the shard's \
+                   friend_ids buffer are the house idiom: clear-and-refill, never \
+                   reallocate). An allocation that is genuinely amortized — building the \
+                   output block that replaces a rotated CSR block, say — belongs in \
+                   lint.toml with that amortization argument spelled out in the \
+                   justification.",
+        "S114" => "S114 — monotonic collection growth across the epoch loop\n\nA push or \
+                   insert that executes per event with no clear/drain/truncate on the same \
+                   collection is a static leak: occupancy grows with event count and the \
+                   5M-account epoch loop turns it into memory pressure and realloc stalls. \
+                   S114 finds growth-method calls (push / push_back / insert / extend / \
+                   append) reachable inside a per-event hot loop and models drains by \
+                   receiver: growth on a receiver that is also cleared, drained, \
+                   truncated, popped, retained, or split in the *same function* is the \
+                   recycled-scratch idiom and never fires — that is the negative case the \
+                   cost fixtures pin.\n\nSurviving sites either drain at the epoch barrier \
+                   (bounded staging queues drained by the coordinator each round are the \
+                   house pattern) or carry an allowlist entry stating the occupancy bound: \
+                   what caps the collection, and who enforces the cap.",
+        "S115" => "S115 — truncating casts on the hot path\n\nThe scale contract is u32 \
+                   ids end-to-end: 5M accounts fit comfortably, and flat u32 arenas are \
+                   half the memory of usize. The risk is the silent `as` cast — `len() as \
+                   u32`, `(base + offset) as u32` — which truncates without a sound when \
+                   the invariant that \"this fits\" stops holding. S115 flags every `as` \
+                   cast to a narrow integer type (u8/u16/u32/i8/i16/i32) in any function \
+                   reachable from a `[hotpaths.roots]` core, with the root→site chain. \
+                   Widening casts are never flagged.\n\nFix with a checked conversion: \
+                   try_into (or sybil_core::ids::count_u32) surfacing the typed \
+                   sybil_core::Error::IdOverflow — never a stringly error. A cast whose \
+                   range invariant is structural (block-local offsets bounded by block \
+                   size, node ids constructed from u32) can be allowlisted with that \
+                   invariant spelled out.",
+        "S116" => "S116 — blocking acquisition reachable from a hot loop\n\nBetween epoch \
+                   barriers every shard's latency is the epoch's latency: a lock, an \
+                   unbounded recv, or an IO wait inside the per-event loop serializes the \
+                   shards and melts the throughput the substrate exists to provide. S116 \
+                   marks blocking intrinsics (.lock(), .recv(), .recv_timeout(), .wait(), \
+                   thread::sleep) and reports any site reachable inside a per-event hot \
+                   loop, with the propagation chain.\n\nThe house architecture makes this \
+                   rule cheap to satisfy: shards own their state, cross-shard effects are \
+                   staged in bounded DeltaQueues and exchanged at the barrier, so nothing \
+                   on the event path should ever wait on another thread. A reviewed wait \
+                   with a proven bound belongs in lint.toml with that bound.",
+        "S117" => "S117 — recursion reachable from a hot path\n\nThe per-event cores must \
+                   have statically bounded stack and work; recursion breaks both bounds — \
+                   graph-shaped inputs can drive adversarial depth, and at 5M accounts \
+                   \"the stack was deep enough in testing\" is not an invariant. S117 \
+                   detects call-graph cycles (direct or mutual, over the same \
+                   name-resolved graph the other S-rules use) and reports any cycle \
+                   participant reachable from a `[hotpaths.roots]` core, anchored at the \
+                   cycle-entering call with the root→cycle chain.\n\nRewrite iteratively \
+                   with an explicit worklist (the CSR traversals and the mirror's \
+                   delta-merge are all loop-shaped for this reason). Because the call \
+                   graph over-approximates method dispatch by name, a reported cycle can \
+                   be spurious — two unrelated `step` methods wiring into each other; \
+                   renaming one of the methods is usually the cleanest fix and sharpens \
+                   every other S-rule at the same time.",
         _ => return None,
     })
 }

@@ -12,6 +12,7 @@
 //! it judges the allowlist itself, not the source.
 
 use crate::callgraph::{CallGraph, Edge};
+use crate::costs::HotPathConfig;
 use crate::effects::EffectConfig;
 use crate::lexer::lex;
 use crate::parser::{PanicKind, Vis};
@@ -19,17 +20,22 @@ use crate::report::Finding;
 use crate::rules::{test_line_spans_for, FileKind};
 use crate::symbols::{FnIdx, WorkspaceModel};
 
-/// Run S101–S108 plus the effect rules S109–S112 with a default (empty)
-/// effect configuration — no roots or sinks designated, so only S112 of
-/// the effect family can fire. Findings sorted by (path, line, col,
-/// rule).
+/// Run S101–S108 plus the effect rules S109–S112 and the cost rules
+/// S113–S117 with default (empty) configurations — no roots or sinks
+/// designated, so only S112 of the config-anchored families can fire.
+/// Findings sorted by (path, line, col, rule).
 pub fn check_workspace(model: &WorkspaceModel) -> Vec<Finding> {
-    check_workspace_with(model, &EffectConfig::default())
+    check_workspace_with(model, &EffectConfig::default(), &HotPathConfig::default())
 }
 
 /// Run every semantic rule, with the effect-rule roots and sinks taken
-/// from `effects` (parsed out of `lint.toml`'s `[effects.*]` tables).
-pub fn check_workspace_with(model: &WorkspaceModel, effects: &EffectConfig) -> Vec<Finding> {
+/// from `effects` (parsed out of `lint.toml`'s `[effects.*]` tables) and
+/// the cost-rule hot-path roots from `hotpaths` (`[hotpaths.roots]`).
+pub fn check_workspace_with(
+    model: &WorkspaceModel,
+    effects: &EffectConfig,
+    hotpaths: &HotPathConfig,
+) -> Vec<Finding> {
     let cg = CallGraph::build(model);
     let mut out = Vec::new();
     s101_panic_reachability(model, &cg, &mut out);
@@ -40,6 +46,7 @@ pub fn check_workspace_with(model: &WorkspaceModel, effects: &EffectConfig) -> V
     s107_stringly_errors(model, &mut out);
     s108_hot_path_hash_keys(model, &mut out);
     crate::effects::check_effects(model, &cg, effects, &mut out);
+    crate::costs::check_costs(model, &cg, hotpaths, &mut out);
     out.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
     });

@@ -9,7 +9,9 @@
 //! carrying the lint.toml justification — so a code-scanning UI shows
 //! them as reviewed, not as open alerts. Propagation traces are appended
 //! to the message text, one step per line, matching the human renderer's
-//! `= note:` steps.
+//! `= note:` steps. Each catalog rule carries the full `--explain` text
+//! as its `fullDescription` and a stable `helpUri`, so the scanning UI
+//! can show the same remediation guidance the CLI does.
 
 use crate::report::{json_str, Finding, Report};
 use crate::rules;
@@ -32,10 +34,17 @@ pub fn render_sarif(r: &Report) -> String {
     s.push_str("          \"name\": \"sybil-lint\",\n");
     s.push_str("          \"rules\": [\n");
     for (i, id) in catalog.iter().enumerate() {
+        // fullDescription is the `--explain CODE` text verbatim; every
+        // registered rule has one, so the fallback never fires in
+        // practice but keeps the renderer total.
+        let full = rules::rule_explanation(id).unwrap_or_else(|| rules::rule_summary(id));
         s.push_str(&format!(
-            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}, \
+             \"fullDescription\": {{\"text\": {}}}, \"helpUri\": {}}}{}\n",
             json_str(id),
             json_str(rules::rule_summary(id)),
+            json_str(full),
+            json_str(&format!("https://sybil-lint.example/explain/{id}")),
             if i + 1 < catalog.len() { "," } else { "" }
         ));
     }
@@ -145,9 +154,21 @@ mod tests {
             "{s}"
         );
         assert!(s.contains("\"startLine\": 4"), "{s}");
-        // Every rule appears exactly once in the catalog.
+        // Every rule appears exactly once in the catalog, carrying the
+        // --explain text and a helpUri.
         for id in rules::ALL_RULES.iter().chain(rules::SEM_RULES.iter()) {
             assert!(s.contains(&format!("\"id\": \"{id}\"")), "missing {id}");
+            assert!(
+                s.contains(&format!("https://sybil-lint.example/explain/{id}")),
+                "missing helpUri for {id}"
+            );
         }
+        assert!(s.contains("\"fullDescription\""), "{s}");
+        // Spot-check one fullDescription is the --explain text verbatim.
+        let expl = rules::rule_explanation("S113").unwrap();
+        assert!(
+            s.contains(&crate::report::json_str(expl)),
+            "S113 fullDescription should be the --explain text"
+        );
     }
 }

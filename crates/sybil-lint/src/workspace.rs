@@ -188,6 +188,7 @@ fn run_impl(files: &[SourceFile], allowlist: &Allowlist, semantic: bool) -> io::
         findings.extend(crate::rules_sem::check_workspace_with(
             &model,
             &allowlist.effects,
+            &allowlist.hotpaths,
         ));
     }
 

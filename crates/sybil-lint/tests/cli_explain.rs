@@ -1,0 +1,47 @@
+//! CLI contract for `--explain`: a known code prints the rationale and
+//! exits 0; an unknown code exits 2 with the known-code list on stderr.
+
+use std::process::Command;
+
+fn lint_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sybil-lint"))
+}
+
+#[test]
+fn explain_known_code_exits_zero_with_rationale() {
+    let out = lint_cmd()
+        .args(["--explain", "S113"])
+        .output()
+        .expect("spawn sybil-lint");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("S113"), "{stdout}");
+    assert!(stdout.contains("hot loop"), "{stdout}");
+}
+
+#[test]
+fn explain_unknown_code_exits_two_with_known_list_on_stderr() {
+    let out = lint_cmd()
+        .args(["--explain", "S999"])
+        .output()
+        .expect("spawn sybil-lint");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(out.stdout.is_empty(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown rule \"S999\""), "{stderr}");
+    // The known-code list covers both rule families, through the newest.
+    for code in ["D001", "D006", "S101", "S113", "S117"] {
+        assert!(stderr.contains(code), "missing {code} in: {stderr}");
+    }
+}
+
+#[test]
+fn explain_is_case_insensitive() {
+    let out = lint_cmd()
+        .args(["--explain", "s115"])
+        .output()
+        .expect("spawn sybil-lint");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("try_into"), "{stdout}");
+}

@@ -44,7 +44,11 @@ fn eff_model(name: &str, layout: &[(&str, &str)]) -> WorkspaceModel {
 
 /// Run every semantic rule over a fixture with the given effect config.
 fn eff_findings(name: &str, layout: &[(&str, &str)], cfg: &EffectConfig) -> Vec<Finding> {
-    check_workspace_with(&eff_model(name, layout), cfg)
+    check_workspace_with(
+        &eff_model(name, layout),
+        cfg,
+        &sybil_lint::costs::HotPathConfig::default(),
+    )
 }
 
 fn cfg(clockless: &[&str], io_free: &[&str], sinks: &[&str]) -> EffectConfig {
@@ -417,6 +421,7 @@ fn sarif_snapshot_matches_fixture() {
     let allow = allowlist::Allowlist {
         entries: Vec::new(),
         effects: cfg(&["eff_clock_bad::serve"], &[], &[]),
+        hotpaths: sybil_lint::costs::HotPathConfig::default(),
     };
     let rep = run_workspace(&eff_files("eff_clock_bad", CLOCK), &allow).unwrap();
     let sarif = sybil_lint::sarif::render_sarif(&rep);

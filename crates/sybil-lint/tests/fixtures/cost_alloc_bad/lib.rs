@@ -1,0 +1,16 @@
+//! BAD: the hot-path root `serve` allocates two calls down — the
+//! allocation sits in `scan::row`, whose own body has no loop, but it is
+//! in the loop context because `serve` calls `scan::step` from inside
+//! its per-event loop.
+
+#![forbid(unsafe_code)]
+
+pub mod scan;
+
+pub fn serve(events: u32) -> u32 {
+    let mut acc = 0;
+    for e in 0..events {
+        acc += scan::step(e);
+    }
+    acc
+}

@@ -1,0 +1,8 @@
+pub fn step(e: u32) -> u32 {
+    row(e)
+}
+
+fn row(e: u32) -> u32 {
+    let v: Vec<u32> = Vec::new();
+    v.first().copied().unwrap_or(e)
+}

@@ -1,0 +1,5 @@
+// Keeps the fixture's exports alive for S104: serve, step.
+
+fn main() {
+    let _ = (cost_alloc_bad::serve(1), cost_alloc_bad::scan::step(1));
+}

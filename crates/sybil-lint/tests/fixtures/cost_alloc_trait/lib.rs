@@ -1,0 +1,25 @@
+//! BAD: the hot loop's `extract` trait-object call dispatches (resolved
+//! conservatively by name) to `Dense::extract`, which allocates a fresh
+//! row per event.
+
+#![forbid(unsafe_code)]
+
+pub trait Extractor {
+    fn extract(&self, e: u32) -> Vec<u32>;
+}
+
+pub struct Dense;
+
+impl Extractor for Dense {
+    fn extract(&self, e: u32) -> Vec<u32> {
+        vec![e, e + 1]
+    }
+}
+
+pub fn serve(src: &dyn Extractor, events: u32) -> u32 {
+    let mut acc = 0;
+    for e in 0..events {
+        acc += src.extract(e).first().copied().unwrap_or(0);
+    }
+    acc
+}

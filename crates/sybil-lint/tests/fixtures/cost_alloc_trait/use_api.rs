@@ -1,0 +1,6 @@
+// Keeps the fixture's exports alive for S104: Extractor, Dense, serve.
+
+fn main() {
+    let _ = cost_alloc_trait::serve(&cost_alloc_trait::Dense, 1);
+    let _: Option<&dyn cost_alloc_trait::Extractor> = None;
+}

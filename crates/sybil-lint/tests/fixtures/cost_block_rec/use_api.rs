@@ -1,0 +1,6 @@
+// Keeps the fixture's exports alive for S104: serve.
+
+fn main() {
+    let q = std::sync::Mutex::new(Vec::new());
+    let _ = cost_block_rec::serve(&q, 1);
+}

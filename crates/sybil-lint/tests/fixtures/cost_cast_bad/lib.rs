@@ -1,0 +1,11 @@
+//! BAD: a truncating `as u32` cast on the hot path. The widening casts
+//! on the surrounding lines (`as usize`, `as u64`) stay silent — only
+//! narrow targets can drop id/count bits.
+
+#![forbid(unsafe_code)]
+
+pub fn serve(events: u64) -> u32 {
+    let wide = events as usize;
+    let total = (wide as u64) + 1;
+    total as u32
+}

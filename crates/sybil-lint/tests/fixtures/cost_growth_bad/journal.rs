@@ -1,0 +1,15 @@
+/// Append-only event journal — nothing ever drains `entries`.
+#[derive(Default)]
+pub struct Journal {
+    entries: Vec<u32>,
+}
+
+impl Journal {
+    pub fn record(&mut self, e: u32) {
+        self.entries.push(e);
+    }
+
+    pub fn total(&self) -> u32 {
+        self.entries.iter().copied().sum()
+    }
+}

@@ -1,0 +1,14 @@
+//! BAD: the journal grows once per event and is never drained — a
+//! static leak on the per-event critical path.
+
+#![forbid(unsafe_code)]
+
+pub mod journal;
+
+pub fn serve(events: u32) -> u32 {
+    let mut j = journal::Journal::default();
+    for e in 0..events {
+        j.record(e);
+    }
+    j.total()
+}

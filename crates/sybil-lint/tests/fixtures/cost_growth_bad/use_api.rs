@@ -1,0 +1,7 @@
+// Keeps the fixture's exports alive for S104: serve, Journal, record, total.
+
+fn main() {
+    let mut j = cost_growth_bad::journal::Journal::default();
+    j.record(1);
+    let _ = (cost_growth_bad::serve(1), j.total());
+}

@@ -1,0 +1,17 @@
+//! GOOD: the scratch buffer grows inside the hot loop but is cleared in
+//! the same function — the recycled-scratch idiom S114's drain modeling
+//! recognizes. The constructor sits outside the loop, so S113 stays
+//! silent too.
+
+#![forbid(unsafe_code)]
+
+pub fn serve(events: u32) -> u32 {
+    let mut scratch: Vec<u32> = Vec::with_capacity(4);
+    let mut acc = 0;
+    for e in 0..events {
+        scratch.push(e);
+        acc += scratch.iter().copied().sum::<u32>();
+        scratch.clear();
+    }
+    acc
+}

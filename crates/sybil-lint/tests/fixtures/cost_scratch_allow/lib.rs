@@ -1,0 +1,13 @@
+//! Per-event allocation inside the hot loop, carried by an allowlist
+//! entry whose justification spells out the amortization invariant.
+
+#![forbid(unsafe_code)]
+
+pub fn serve(events: u32) -> u32 {
+    let mut acc = 0;
+    for e in 0..events {
+        let row = vec![e];
+        acc += row.first().copied().unwrap_or(0);
+    }
+    acc
+}

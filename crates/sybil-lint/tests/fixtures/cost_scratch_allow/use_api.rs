@@ -1,0 +1,5 @@
+// Keeps the fixture's exports alive for S104: serve.
+
+fn main() {
+    let _ = cost_scratch_allow::serve(1);
+}

@@ -17,7 +17,12 @@ impl Table {
     }
 
     /// Append a row; panics if the width differs from the header.
-    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+    ///
+    /// Named `add_row` (not `row`) deliberately: `row` collides with the
+    /// CSR snapshot's per-node accessor, and the lint call graph's
+    /// name-based method dispatch would wire this report-time builder
+    /// into the serving hot path.
+    pub fn add_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
         let row: Vec<String> = cells.into_iter().map(Into::into).collect();
         assert_eq!(row.len(), self.header.len(), "row width mismatch");
         self.rows.push(row);
@@ -83,7 +88,7 @@ mod tests {
     #[test]
     fn renders_aligned() {
         let mut t = Table::new(["name", "count"]);
-        t.row(["alpha", "1"]).row(["b", "12345"]);
+        t.add_row(["alpha", "1"]).add_row(["b", "12345"]);
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -98,7 +103,7 @@ mod tests {
     #[should_panic(expected = "row width mismatch")]
     fn rejects_ragged_rows() {
         let mut t = Table::new(["a", "b"]);
-        t.row(["only-one"]);
+        t.add_row(["only-one"]);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 gate from ROADMAP.md plus a zero-warning
-# clippy pass, the sybil-lint semantic audit, the thread-count
+# clippy pass, the sybil-lint semantic audit (with its <5s runtime
+# budget, --fix-allowlist byte-identity, and SARIF-catalog snapshot
+# gates), the thread-count
 # bit-identity smoke test (the sanitizer stand-in — see DESIGN.md), the
 # parallel-substrate bench-regression guard, the serving-engine
 # serve-vs-replay equivalence smoke, the metrics bit-identity guard
@@ -22,8 +24,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== lint: sybil-lint determinism & invariant audit (D + S series) =="
 # Release binary (built by the tier-1 step) so the <5s budget measures
-# the analysis — token rules, call-graph resolution, and whole-workspace
-# effect inference (S109–S112) — not rustc.
+# the analysis — token rules, call-graph resolution, whole-workspace
+# effect inference (S109–S112), and the loop-context cost analysis
+# (S113–S117) — not rustc.
 lint_bin="$root/target/release/sybil-lint"
 python3 - "$lint_bin" <<'PY'
 import subprocess, sys, time
@@ -47,6 +50,39 @@ if ! cmp -s lint.toml "$lint_orig"; then
     exit 1
 fi
 rm -f "$lint_orig"
+
+echo "== lint: SARIF output validates against the committed catalog =="
+# `--format sarif` must stay parseable SARIF 2.1.0 whose rule catalog
+# (ids, summaries, --explain-sourced fullDescriptions, helpUris) is
+# byte-stable; the findings themselves churn with line numbers, so the
+# snapshot pins the catalog only. Regen:
+#   sybil-lint --workspace --format sarif | python3 -c 'import json,sys; \
+#     json.dump(json.load(sys.stdin)["runs"][0]["tool"]["driver"]["rules"], \
+#     open("crates/sybil-lint/tests/fixtures/sarif_catalog.json","w"), indent=2)'
+"$lint_bin" --workspace --format sarif > "$root/target/verify_ws.sarif"
+python3 - "$root/target/verify_ws.sarif" \
+    "$root/crates/sybil-lint/tests/fixtures/sarif_catalog.json" <<'PY'
+import json, sys
+sarif = json.load(open(sys.argv[1]))
+assert sarif["version"] == "2.1.0", sarif["version"]
+assert "sarif-2.1.0" in sarif["$schema"], sarif["$schema"]
+run = sarif["runs"][0]
+driver = run["tool"]["driver"]
+assert driver["name"] == "sybil-lint", driver["name"]
+rules = driver["rules"]
+for r in rules:
+    missing = [k for k in ("id", "shortDescription", "fullDescription", "helpUri") if k not in r]
+    assert not missing, f"rule {r.get('id')} missing {missing}"
+snapshot = json.load(open(sys.argv[2]))
+if json.dumps(rules, sort_keys=True) != json.dumps(snapshot, sort_keys=True):
+    print("SARIF rule catalog drifted from the committed snapshot "
+          "(crates/sybil-lint/tests/fixtures/sarif_catalog.json); regen per "
+          "the comment in verify.sh if the change is intentional")
+    sys.exit(1)
+n_sup = sum(1 for res in run.get("results", []) if res.get("suppressions"))
+print(f"sarif smoke: {len(rules)} rules in catalog, "
+      f"{len(run.get('results', []))} results ({n_sup} suppressed), catalog matches snapshot")
+PY
 
 echo "== sanitizer stand-in: RENREN_THREADS=1 vs 8 bit-identity =="
 # Miri cannot execute the scoped-thread par:: layer, so race detection
