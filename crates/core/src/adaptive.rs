@@ -65,6 +65,18 @@ impl QuantileTracker {
     pub fn count(&self) -> u64 {
         self.seen
     }
+
+    /// Fold this tracker's full state into `d` (crash-replay recovery
+    /// checks digest the private `estimate`/`scale`/`seen` fields too —
+    /// two trackers that agree only on [`value`](Self::value) could still
+    /// diverge on the next observation).
+    pub fn digest_into(&self, d: &mut crate::digest::Digest64) {
+        d.write_f64(self.q);
+        d.write_f64(self.step);
+        d.write_f64(self.estimate);
+        d.write_f64(self.scale);
+        d.write_u64(self.seen);
+    }
 }
 
 /// Adaptive version of the three-feature threshold rule.
@@ -118,6 +130,23 @@ impl AdaptiveThresholds {
             self.ratio_normal.observe(features.outgoing_accept_ratio);
             self.cc_normal.observe(features.clustering_coefficient);
         }
+    }
+
+    /// Fold the six trackers (in declaration order) plus the `use_cc`
+    /// flag into `d`. Used by the serving engine's epoch journal to pin
+    /// replicated adaptive state at barrier time.
+    pub fn digest_into(&self, d: &mut crate::digest::Digest64) {
+        for t in [
+            &self.freq_sybil,
+            &self.freq_normal,
+            &self.ratio_sybil,
+            &self.ratio_normal,
+            &self.cc_sybil,
+            &self.cc_normal,
+        ] {
+            t.digest_into(d);
+        }
+        d.write_bool(self.use_cc);
     }
 
     /// The current live rule.

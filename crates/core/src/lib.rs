@@ -25,6 +25,7 @@
 
 pub mod adaptive;
 pub mod bayes;
+pub mod digest;
 pub mod error;
 pub mod eval;
 pub mod ids;

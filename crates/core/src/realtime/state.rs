@@ -82,6 +82,27 @@ impl AccountState {
         }
     }
 
+    /// Fold every field — counters, trailing-window contents, friend
+    /// list in acquisition order, flags — into `d`. Two states with equal
+    /// digests behave identically on every future event, which is the
+    /// property crash-replay recovery verifies at epoch barriers.
+    pub fn digest_into(&self, d: &mut crate::digest::Digest64) {
+        d.write_u32(self.sent);
+        d.write_u32(self.accepted);
+        d.write_u32(self.rejected);
+        d.write_usize(self.recent_sends.len());
+        for &s in &self.recent_sends {
+            d.write_u64(s);
+        }
+        d.write_u32(self.peak_1h);
+        d.write_usize(self.friends.len());
+        for f in &self.friends {
+            d.write_u32(f.0);
+        }
+        d.write_bool(self.friends_dup);
+        d.write_bool(self.detected);
+    }
+
     /// Outgoing requests decided either way.
     #[inline]
     pub fn decided(&self) -> u32 {

@@ -52,7 +52,7 @@ pub use log::RequestLog;
 pub use output::SimOutput;
 pub use profile::{Gender, Profile};
 pub use request::{RequestOutcome, RequestRecord};
-pub use scale::{generate as generate_scale, ScaleConfig};
+pub use scale::{generate as generate_scale, splitmix64, ScaleConfig};
 pub use stream::{EpochBatches, EventDetail, EventStream, PullStream, StreamEvent, StreamEventKind};
 pub use tools::{ToolKind, ToolSpec};
 

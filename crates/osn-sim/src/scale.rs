@@ -54,9 +54,12 @@ impl ScaleConfig {
     }
 }
 
-/// SplitMix64 finalizer: a well-mixed 64-bit hash of `x`.
+/// SplitMix64 finalizer: a well-mixed 64-bit hash of `x`. Public
+/// because every seeded derivation in the workspace funnels through it —
+/// scale generation here, fault-schedule generation in `sybil-chaos` —
+/// so "same seed, same run" holds across subsystems by construction.
 #[inline]
-fn mix(mut x: u64) -> u64 {
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -66,7 +69,7 @@ fn mix(mut x: u64) -> u64 {
 /// `i`-th draw for this config, uniform in `[0, m)`.
 #[inline]
 fn draw(seed: u64, i: u64, m: u64) -> u64 {
-    mix(seed ^ mix(i)) % m
+    splitmix64(seed ^ splitmix64(i)) % m
 }
 
 /// Whether account `a` is a Sybil under `cfg`.
@@ -91,7 +94,7 @@ pub fn generate(cfg: &ScaleConfig) -> SimOutput {
     let n = cfg.accounts;
     assert!(n >= 4, "scale workload needs at least 4 accounts");
     assert!(cfg.sybil_every >= 2, "sybil_every must be ≥ 2");
-    let seed = mix(cfg.seed ^ 0xC0FF_EE00_5CA1_E000);
+    let seed = splitmix64(cfg.seed ^ 0xC0FF_EE00_5CA1_E000);
     let span_s = cfg.hours.max(1) * 3600;
     let arrival_s = span_s * 3 / 5; // accounts appear in the first 60%
 
@@ -105,7 +108,7 @@ pub fn generate(cfg: &ScaleConfig) -> SimOutput {
         } else {
             AccountKind::Normal
         };
-        let h = mix(seed ^ 0xACC0 ^ a as u64);
+        let h = splitmix64(seed ^ 0xACC0 ^ a as u64);
         accounts.push(Account {
             kind,
             profile: Profile::new(

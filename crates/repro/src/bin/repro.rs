@@ -13,7 +13,7 @@
 //! the segregated `wall` section.
 
 use sybil_obs::Snapshot;
-use sybil_repro::{defenses, deployment, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
+use sybil_repro::{chaos, defenses, deployment, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
 use sybil_repro::{help, mixing, parse_args, reach, serve, table1, table2, table3, zoo};
 use sybil_repro::{Ctx, RunSpec};
 use sybil_stats::export;
@@ -152,6 +152,22 @@ fn main() {
                     serve::run(&ctx, &spec)
                 };
                 save("serve", &r, &r.render());
+            }
+            "chaos" => {
+                let result = if master.is_some() {
+                    let mut reg = sybil_obs::Registry::new();
+                    let r = chaos::run_observed(&ctx, &spec, &mut reg);
+                    if let (Some(m), Ok(_)) = (master.as_mut(), &r) {
+                        m.absorb(&reg.snapshot());
+                    }
+                    r
+                } else {
+                    chaos::run(&ctx, &spec)
+                };
+                match result {
+                    Ok(r) => save("chaos", &r, &r.render()),
+                    Err(e) => eprintln!("chaos drill failed: {e}"),
+                }
             }
             "reach" => {
                 let r = reach::run(&ctx, spec.reach_trials());

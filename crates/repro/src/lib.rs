@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod chaos;
 pub mod defenses;
 pub mod deployment;
 pub mod fig1;

@@ -18,9 +18,9 @@ use crate::scenario::Scale;
 use std::path::PathBuf;
 
 /// Every experiment name the binary accepts, in default execution order.
-pub const ALL_EXPERIMENTS: [&str; 18] = [
+pub const ALL_EXPERIMENTS: [&str; 19] = [
     "fig1", "fig2", "fig3", "fig4", "table1", "fig5", "fig6", "table2", "fig7", "fig8", "fig9",
-    "table3", "zoo", "mixing", "deployment", "serve", "reach", "defenses",
+    "table3", "zoo", "mixing", "deployment", "serve", "chaos", "reach", "defenses",
 ];
 
 /// One CLI flag: spelling, value placeholder (`None` for bare flags),
@@ -32,7 +32,7 @@ struct Flag {
     help: &'static str,
 }
 
-const FLAGS: [Flag; 7] = [
+const FLAGS: [Flag; 8] = [
     Flag {
         name: "--scale",
         value: Some("tiny|small|paper|xl"),
@@ -57,6 +57,11 @@ const FLAGS: [Flag; 7] = [
         name: "--threads",
         value: Some("N"),
         help: "worker thread count (sets RENREN_THREADS for this run)",
+    },
+    Flag {
+        name: "--faults",
+        value: Some("FILE"),
+        help: "chaos experiment: load the fault schedule from FILE (JSON) instead of deriving it from --seed",
     },
     Flag {
         name: "--metrics",
@@ -91,6 +96,9 @@ pub struct RunSpec {
     /// When set, a deterministic `metrics.json` is written under this
     /// directory.
     pub metrics_dir: Option<PathBuf>,
+    /// Fault-schedule file for the `chaos` experiment; `None` derives a
+    /// schedule from the seed.
+    pub faults_file: Option<PathBuf>,
 }
 
 impl Default for RunSpec {
@@ -103,6 +111,7 @@ impl Default for RunSpec {
             shards: 0,
             threads: None,
             metrics_dir: None,
+            faults_file: None,
         }
     }
 }
@@ -200,6 +209,12 @@ impl RunSpecBuilder {
     /// Enable metrics export under `dir`.
     pub fn metrics_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.spec.metrics_dir = Some(dir.into());
+        self
+    }
+
+    /// Load the chaos fault schedule from `file`.
+    pub fn faults_file(mut self, file: impl Into<PathBuf>) -> Self {
+        self.spec.faults_file = Some(file.into());
         self
     }
 
@@ -340,6 +355,10 @@ where
                 let v = args.next().ok_or(CliError::MissingValue("--metrics"))?;
                 spec.metrics_dir = Some(PathBuf::from(v));
             }
+            "--faults" => {
+                let v = args.next().ok_or(CliError::MissingValue("--faults"))?;
+                spec.faults_file = Some(PathBuf::from(v));
+            }
             other if other.starts_with('-') => {
                 return Err(CliError::UnknownFlag(other.to_string()));
             }
@@ -407,7 +426,7 @@ mod tests {
     fn every_flag_round_trips() {
         let spec = parse(&[
             "--scale", "tiny", "--seed", "7", "--out", "tmp/x", "--shards", "4", "--threads",
-            "8", "--metrics", "tmp/m", "serve", "deployment",
+            "8", "--metrics", "tmp/m", "--faults", "tmp/f.json", "serve", "deployment",
         ])
         .unwrap();
         assert_eq!(
@@ -419,6 +438,7 @@ mod tests {
                 .shards(4)
                 .threads(8)
                 .metrics_dir("tmp/m")
+                .faults_file("tmp/f.json")
                 .experiments(["serve", "deployment"])
                 .unwrap()
                 .build()

@@ -1,0 +1,712 @@
+//! The write-ahead epoch journal: a length-prefixed, byte-stable on-disk
+//! log of everything a crashed shard needs to reconstruct its
+//! `realtime::state` byte-for-byte.
+//!
+//! ## Format
+//!
+//! The journal is a header followed by frames. All integers are
+//! little-endian; floats are IEEE-754 bit patterns written as `u64`.
+//! There is no compression, no varints, and no platform-dependent field
+//! (`usize` never appears on disk), so the byte stream is identical
+//! across machines — "byte-stable" is load-bearing for the round-trip
+//! proptest, which compares replayed state digests against digests
+//! committed through these exact bytes.
+//!
+//! ```text
+//! header :=  magic b"SYBJ"  version:u32 (= 1)
+//! frame  :=  len:u32  tag:u8  payload[len-1]
+//!
+//! tag 1 (epoch begin, the write-ahead record):
+//!   epoch:u64  n_events:u32  n_feedback:u32
+//!   event[n_events]    := seq:u64 at_secs:u64 kind:u8 record:u32
+//!                         from:u32 to:u32 accepted:u8
+//!   feedback[n_feedback] := seq:u64 intra:u8 due_secs:u64
+//!                           f64bits[5]:u64 truth:u8
+//! tag 2 (epoch commit): epoch:u64 has_digests:u8 [n:u32 digest[n]:u64]
+//! tag 3 (run end):      epochs:u64 n:u32 digest[n]:u64
+//! ```
+//!
+//! A begin record is appended *before* the epoch's shards run; the
+//! matching commit follows the barrier merge. Recovery therefore always
+//! finds the in-flight epoch's inputs, and every fully-committed epoch
+//! carries the per-shard state digests replay is verified against.
+//!
+//! [`Journal`] is generic over any `Read + Write + Seek` store: a real
+//! file for `repro chaos --journal`, an in-memory `Cursor<Vec<u8>>` for
+//! tests and the default CLI path. Appending maintains an in-memory
+//! offset index so mid-run crash replay seeks straight to a begin
+//! record; [`Journal::open`] rebuilds the same index by scanning an
+//! existing byte stream, which is what proves the bytes alone suffice.
+
+use osn_graph::Timestamp;
+use osn_sim::stream::{EventDetail, StreamEvent, StreamEventKind};
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use sybil_features::FeatureVector;
+use sybil_serve::fault::{EpochRecord, EpochRecordRef, FeedbackRecord};
+
+/// Journal magic: `b"SYBJ"`.
+pub const MAGIC: [u8; 4] = *b"SYBJ";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+const TAG_BEGIN: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+const TAG_END: u8 = 3;
+
+/// Why a journal operation failed. Every variant is typed and carries
+/// the byte offset where decoding gave up, so corruption is attributable
+/// to a position, never a silent truncation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalError {
+    /// The underlying store failed; the kind is preserved, the offset is
+    /// where the journal was reading or writing.
+    Io {
+        /// The IO error kind reported by the store.
+        kind: std::io::ErrorKind,
+        /// Byte offset of the failed operation.
+        offset: u64,
+    },
+    /// The stream does not start with the `SYBJ` magic.
+    BadMagic,
+    /// The header version is not one this reader understands.
+    BadVersion(u32),
+    /// A frame or the header ended mid-field.
+    Truncated {
+        /// Byte offset where the stream ran out.
+        offset: u64,
+    },
+    /// A frame carried an unknown tag byte.
+    BadTag {
+        /// The offending tag.
+        tag: u8,
+        /// Byte offset of the frame.
+        offset: u64,
+    },
+    /// A field held a value outside its domain (e.g. an unknown event
+    /// kind discriminant).
+    BadField {
+        /// Byte offset of the offending field.
+        offset: u64,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io { kind, offset } => {
+                write!(f, "journal io error ({kind:?}) at byte {offset}")
+            }
+            JournalError::BadMagic => write!(f, "journal missing SYBJ magic"),
+            JournalError::BadVersion(v) => write!(f, "journal version {v} unsupported"),
+            JournalError::Truncated { offset } => {
+                write!(f, "journal truncated at byte {offset}")
+            }
+            JournalError::BadTag { tag, offset } => {
+                write!(f, "journal unknown frame tag {tag} at byte {offset}")
+            }
+            JournalError::BadField { offset } => {
+                write!(f, "journal field out of domain at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Little-endian field encoder onto a frame buffer.
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Little-endian field decoder over a frame payload. Positions are
+/// tracked relative to `base` (the payload's offset in the stream) so
+/// errors report absolute byte offsets.
+struct Fields<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    base: u64,
+}
+
+impl<'a> Fields<'a> {
+    fn new(buf: &'a [u8], base: u64) -> Self {
+        Fields { buf, pos: 0, base }
+    }
+
+    fn offset(&self) -> u64 {
+        self.base + self.pos as u64
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], JournalError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(JournalError::Truncated {
+                offset: self.offset(),
+            }),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, JournalError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, JournalError> {
+        let s = self.take(4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, JournalError> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn f64(&mut self) -> Result<f64, JournalError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Encode one event + its parallel detail.
+fn put_event(buf: &mut Vec<u8>, ev: &StreamEvent, det: &EventDetail) {
+    put_u64(buf, ev.seq);
+    put_u64(buf, ev.at.as_secs());
+    let (kind, record) = match ev.kind {
+        StreamEventKind::Sent(r) => (0u8, r),
+        StreamEventKind::Decided(r) => (1u8, r),
+    };
+    put_u8(buf, kind);
+    put_u32(buf, record);
+    put_u32(buf, det.from);
+    put_u32(buf, det.to);
+    put_u8(buf, u8::from(det.accepted));
+}
+
+fn get_event(f: &mut Fields<'_>) -> Result<(StreamEvent, EventDetail), JournalError> {
+    let seq = f.u64()?;
+    let at = Timestamp(f.u64()?);
+    let kind_off = f.offset();
+    let kind_tag = f.u8()?;
+    let record = f.u32()?;
+    let kind = match kind_tag {
+        0 => StreamEventKind::Sent(record),
+        1 => StreamEventKind::Decided(record),
+        _ => return Err(JournalError::BadField { offset: kind_off }),
+    };
+    let from = f.u32()?;
+    let to = f.u32()?;
+    let accepted_off = f.offset();
+    let accepted = match f.u8()? {
+        0 => false,
+        1 => true,
+        _ => {
+            return Err(JournalError::BadField {
+                offset: accepted_off,
+            })
+        }
+    };
+    Ok((
+        StreamEvent { seq, at, kind },
+        EventDetail { from, to, accepted },
+    ))
+}
+
+fn put_feedback(buf: &mut Vec<u8>, fb: &FeedbackRecord) {
+    put_u64(buf, fb.seq);
+    put_u8(buf, fb.intra);
+    put_u64(buf, fb.due.as_secs());
+    for v in fb.features.as_array() {
+        put_f64(buf, v);
+    }
+    put_u8(buf, u8::from(fb.truth));
+}
+
+fn get_feedback(f: &mut Fields<'_>) -> Result<FeedbackRecord, JournalError> {
+    let seq = f.u64()?;
+    let intra = f.u8()?;
+    let due = Timestamp(f.u64()?);
+    let features = FeatureVector {
+        inv_freq_1h: f.f64()?,
+        inv_freq_400h: f.f64()?,
+        outgoing_accept_ratio: f.f64()?,
+        incoming_accept_ratio: f.f64()?,
+        clustering_coefficient: f.f64()?,
+    };
+    let truth_off = f.offset();
+    let truth = match f.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(JournalError::BadField { offset: truth_off }),
+    };
+    Ok(FeedbackRecord {
+        seq,
+        intra,
+        due,
+        features,
+        truth,
+    })
+}
+
+/// The write-ahead epoch journal over any seekable byte store.
+#[derive(Debug)]
+pub struct Journal<S> {
+    store: S,
+    /// Next append offset (== stream length for a well-formed journal).
+    end: u64,
+    /// Total frame bytes appended by *this* handle (excludes the header
+    /// and anything already present at `open`); the overhead bench reads
+    /// this.
+    appended: u64,
+    /// Offset of each epoch's begin frame payload, by epoch.
+    begins: BTreeMap<u64, u64>,
+    /// Committed per-shard digests, by epoch (`None` when the commit
+    /// carried no digests).
+    commits: BTreeMap<u64, Option<Vec<u64>>>,
+    /// Run-end record: (epochs, final per-shard digests).
+    finished: Option<(u64, Vec<u64>)>,
+}
+
+impl<S: Read + Write + Seek> Journal<S> {
+    /// Start a fresh journal on `store`, writing the header.
+    pub fn create(mut store: S) -> Result<Self, JournalError> {
+        store
+            .seek(SeekFrom::Start(0))
+            .and_then(|_| store.write_all(&MAGIC))
+            .and_then(|_| store.write_all(&VERSION.to_le_bytes()))
+            .map_err(|e| JournalError::Io {
+                kind: e.kind(),
+                offset: 0,
+            })?;
+        Ok(Journal {
+            store,
+            end: (MAGIC.len() + 4) as u64,
+            appended: 0,
+            begins: BTreeMap::new(),
+            commits: BTreeMap::new(),
+            finished: None,
+        })
+    }
+
+    /// Open an existing journal, validating the header and scanning every
+    /// frame to rebuild the offset index. This is the path that proves
+    /// the byte stream alone carries recovery: nothing from the writing
+    /// process survives except the bytes.
+    pub fn open(mut store: S) -> Result<Self, JournalError> {
+        store
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| JournalError::Io {
+                kind: e.kind(),
+                offset: 0,
+            })?;
+        let mut header = [0u8; 8];
+        read_exact_at(&mut store, &mut header, 0)?;
+        if header[..4] != MAGIC {
+            return Err(JournalError::BadMagic);
+        }
+        let mut vb = [0u8; 4];
+        vb.copy_from_slice(&header[4..8]);
+        let version = u32::from_le_bytes(vb);
+        if version != VERSION {
+            return Err(JournalError::BadVersion(version));
+        }
+        let mut j = Journal {
+            store,
+            end: 8,
+            appended: 0,
+            begins: BTreeMap::new(),
+            commits: BTreeMap::new(),
+            finished: None,
+        };
+        j.scan()?;
+        Ok(j)
+    }
+
+    /// Scan frames from the current `end` to the end of the stream,
+    /// indexing begin offsets and absorbing commit/end records.
+    fn scan(&mut self) -> Result<(), JournalError> {
+        loop {
+            let mut lenb = [0u8; 4];
+            let off = self.end;
+            self.store
+                .seek(SeekFrom::Start(off))
+                .map_err(|e| JournalError::Io {
+                    kind: e.kind(),
+                    offset: off,
+                })?;
+            match self.store.read_exact(&mut lenb) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                    // Distinguish a clean end (no more frames) from a
+                    // frame cut mid-length by probing for any byte.
+                    self.store
+                        .seek(SeekFrom::Start(off))
+                        .map_err(|e| JournalError::Io {
+                            kind: e.kind(),
+                            offset: off,
+                        })?;
+                    let mut probe = [0u8; 1];
+                    return match self.store.read_exact(&mut probe) {
+                        Err(pe) if pe.kind() == std::io::ErrorKind::UnexpectedEof => Ok(()),
+                        _ => Err(JournalError::Truncated { offset: off }),
+                    };
+                }
+                Err(e) => {
+                    return Err(JournalError::Io {
+                        kind: e.kind(),
+                        offset: off,
+                    })
+                }
+            }
+            let len = u32::from_le_bytes(lenb) as usize;
+            if len == 0 {
+                return Err(JournalError::BadField { offset: off });
+            }
+            let mut frame = vec![0u8; len];
+            read_exact_at(&mut self.store, &mut frame, off + 4)?;
+            self.index_frame(&frame, off + 4)?;
+            self.end = off + 4 + len as u64;
+        }
+    }
+
+    /// Absorb one frame (tag + payload) into the index.
+    fn index_frame(&mut self, frame: &[u8], base: u64) -> Result<(), JournalError> {
+        let mut f = Fields::new(frame, base);
+        let tag = f.u8()?;
+        match tag {
+            TAG_BEGIN => {
+                let epoch = f.u64()?;
+                // The payload body is decoded lazily by `read_epoch`;
+                // only the offset is kept here.
+                self.begins.insert(epoch, base);
+            }
+            TAG_COMMIT => {
+                let epoch = f.u64()?;
+                let digests = match f.u8()? {
+                    0 => None,
+                    _ => {
+                        let n = f.u32()? as usize;
+                        let mut d = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            d.push(f.u64()?);
+                        }
+                        Some(d)
+                    }
+                };
+                self.commits.insert(epoch, digests);
+            }
+            TAG_END => {
+                let epochs = f.u64()?;
+                let n = f.u32()? as usize;
+                let mut d = Vec::with_capacity(n);
+                for _ in 0..n {
+                    d.push(f.u64()?);
+                }
+                self.finished = Some((epochs, d));
+            }
+            other => {
+                return Err(JournalError::BadTag {
+                    tag: other,
+                    offset: base,
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Append one frame (tag already in `payload[0]`).
+    fn append(&mut self, payload: &[u8]) -> Result<u64, JournalError> {
+        let off = self.end;
+        let len = payload.len() as u32;
+        self.store
+            .seek(SeekFrom::Start(off))
+            .and_then(|_| self.store.write_all(&len.to_le_bytes()))
+            .and_then(|_| self.store.write_all(payload))
+            .map_err(|e| JournalError::Io {
+                kind: e.kind(),
+                offset: off,
+            })?;
+        let frame_len = 4 + payload.len() as u64;
+        self.end += frame_len;
+        self.appended += frame_len;
+        Ok(off + 4)
+    }
+
+    /// Write the epoch-begin (write-ahead) record.
+    pub fn append_begin(&mut self, rec: EpochRecordRef<'_>) -> Result<(), JournalError> {
+        let mut buf = Vec::with_capacity(32 + rec.events.len() * 30 + rec.feedback.len() * 58);
+        put_u8(&mut buf, TAG_BEGIN);
+        put_u64(&mut buf, rec.epoch);
+        put_u32(&mut buf, rec.events.len() as u32);
+        put_u32(&mut buf, rec.feedback.len() as u32);
+        for (ev, det) in rec.events.iter().zip(rec.details.iter()) {
+            put_event(&mut buf, ev, det);
+        }
+        for fb in rec.feedback {
+            put_feedback(&mut buf, fb);
+        }
+        let base = self.append(&buf)?;
+        self.begins.insert(rec.epoch, base);
+        Ok(())
+    }
+
+    /// Write the epoch-commit record, with per-shard digests when taken.
+    pub fn append_commit(
+        &mut self,
+        epoch: u64,
+        digests: Option<&[u64]>,
+    ) -> Result<(), JournalError> {
+        let mut buf = Vec::with_capacity(16 + digests.map_or(0, |d| 4 + d.len() * 8));
+        put_u8(&mut buf, TAG_COMMIT);
+        put_u64(&mut buf, epoch);
+        match digests {
+            None => put_u8(&mut buf, 0),
+            Some(d) => {
+                put_u8(&mut buf, 1);
+                put_u32(&mut buf, d.len() as u32);
+                for &x in d {
+                    put_u64(&mut buf, x);
+                }
+            }
+        }
+        self.append(&buf)?;
+        self.commits.insert(epoch, digests.map(<[u64]>::to_vec));
+        Ok(())
+    }
+
+    /// Write the run-end record with the final per-shard state digests.
+    pub fn append_end(&mut self, epochs: u64, digests: &[u64]) -> Result<(), JournalError> {
+        let mut buf = Vec::with_capacity(16 + digests.len() * 8);
+        put_u8(&mut buf, TAG_END);
+        put_u64(&mut buf, epochs);
+        put_u32(&mut buf, digests.len() as u32);
+        for &x in digests {
+            put_u64(&mut buf, x);
+        }
+        self.append(&buf)?;
+        self.finished = Some((epochs, digests.to_vec()));
+        Ok(())
+    }
+
+    /// Decode epoch `epoch`'s begin record, or `None` if the journal has
+    /// no record for it.
+    pub fn read_epoch(&mut self, epoch: u64) -> Result<Option<EpochRecord>, JournalError> {
+        let Some(&base) = self.begins.get(&epoch) else {
+            return Ok(None);
+        };
+        // Re-read the frame length from just before the payload.
+        let mut lenb = [0u8; 4];
+        read_exact_at(&mut self.store, &mut lenb, base - 4)?;
+        let len = u32::from_le_bytes(lenb) as usize;
+        let mut frame = vec![0u8; len];
+        read_exact_at(&mut self.store, &mut frame, base)?;
+        let mut f = Fields::new(&frame, base);
+        let tag = f.u8()?;
+        if tag != TAG_BEGIN {
+            return Err(JournalError::BadTag { tag, offset: base });
+        }
+        let rec_epoch = f.u64()?;
+        if rec_epoch != epoch {
+            return Err(JournalError::BadField { offset: base });
+        }
+        let n_events = f.u32()? as usize;
+        let n_feedback = f.u32()? as usize;
+        let mut events = Vec::with_capacity(n_events);
+        let mut details = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let (ev, det) = get_event(&mut f)?;
+            events.push(ev);
+            details.push(det);
+        }
+        let mut feedback = Vec::with_capacity(n_feedback);
+        for _ in 0..n_feedback {
+            feedback.push(get_feedback(&mut f)?);
+        }
+        Ok(Some(EpochRecord {
+            epoch,
+            events,
+            details,
+            feedback,
+        }))
+    }
+
+    /// The digest committed for `(epoch, shard)`, when one was journaled.
+    pub fn committed_digest(&self, epoch: u64, shard: usize) -> Option<u64> {
+        self.commits
+            .get(&epoch)
+            .and_then(|d| d.as_ref())
+            .and_then(|d| d.get(shard).copied())
+    }
+
+    /// The run-end record, when the run completed: `(epochs, digests)`.
+    pub fn finished(&self) -> Option<(u64, &[u64])> {
+        self.finished.as_ref().map(|(e, d)| (*e, d.as_slice()))
+    }
+
+    /// Epochs with a begin record.
+    pub fn epochs_journaled(&self) -> u64 {
+        self.begins.len() as u64
+    }
+
+    /// Frame bytes appended through this handle (header excluded).
+    pub fn bytes_appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Total journal length in bytes, header included.
+    pub fn len_bytes(&self) -> u64 {
+        self.end
+    }
+
+    /// Consume the journal, returning the underlying store.
+    pub fn into_store(self) -> S {
+        self.store
+    }
+}
+
+/// `read_exact` at an absolute offset, mapping errors to typed variants.
+fn read_exact_at<S: Read + Seek>(
+    store: &mut S,
+    buf: &mut [u8],
+    offset: u64,
+) -> Result<(), JournalError> {
+    store
+        .seek(SeekFrom::Start(offset))
+        .map_err(|e| JournalError::Io {
+            kind: e.kind(),
+            offset,
+        })?;
+    store.read_exact(buf).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => JournalError::Truncated { offset },
+        kind => JournalError::Io { kind, offset },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_epoch(epoch: u64) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            events: vec![
+                StreamEvent {
+                    seq: 7 + epoch,
+                    at: Timestamp(3600),
+                    kind: StreamEventKind::Sent(4),
+                },
+                StreamEvent {
+                    seq: 8 + epoch,
+                    at: Timestamp(4000),
+                    kind: StreamEventKind::Decided(4),
+                },
+            ],
+            details: vec![
+                EventDetail {
+                    from: 1,
+                    to: 2,
+                    accepted: false,
+                },
+                EventDetail {
+                    from: 1,
+                    to: 2,
+                    accepted: true,
+                },
+            ],
+            feedback: vec![FeedbackRecord {
+                seq: 5,
+                intra: 1,
+                due: Timestamp(9000),
+                features: FeatureVector {
+                    inv_freq_1h: 1.5,
+                    inv_freq_400h: 0.25,
+                    outgoing_accept_ratio: 0.5,
+                    incoming_accept_ratio: 1.0,
+                    clustering_coefficient: -0.0,
+                },
+                truth: true,
+            }],
+        }
+    }
+
+    fn write_sample() -> Vec<u8> {
+        let mut j = Journal::create(Cursor::new(Vec::new())).unwrap();
+        for e in 0..3u64 {
+            let rec = sample_epoch(e);
+            j.append_begin(EpochRecordRef {
+                epoch: e,
+                events: &rec.events,
+                details: &rec.details,
+                feedback: &rec.feedback,
+            })
+            .unwrap();
+            j.append_commit(e, Some(&[10 + e, 20 + e])).unwrap();
+        }
+        j.append_end(3, &[111, 222]).unwrap();
+        j.into_store().into_inner()
+    }
+
+    #[test]
+    fn round_trips_epoch_records_through_bytes() {
+        let bytes = write_sample();
+        let mut j = Journal::open(Cursor::new(bytes)).unwrap();
+        assert_eq!(j.epochs_journaled(), 3);
+        for e in 0..3u64 {
+            let rec = j.read_epoch(e).unwrap().unwrap();
+            let want = sample_epoch(e);
+            assert_eq!(rec.events, want.events);
+            assert_eq!(rec.details, want.details);
+            assert_eq!(rec.feedback, want.feedback);
+            assert_eq!(j.committed_digest(e, 0), Some(10 + e));
+            assert_eq!(j.committed_digest(e, 1), Some(20 + e));
+            assert_eq!(j.committed_digest(e, 2), None);
+        }
+        assert!(j.read_epoch(3).unwrap().is_none());
+        assert_eq!(j.finished(), Some((3, &[111u64, 222][..])));
+    }
+
+    #[test]
+    fn byte_stream_is_stable() {
+        // Two identical writes produce identical bytes — the format has
+        // no timestamps, no platform-dependent widths, no map ordering.
+        assert_eq!(write_sample(), write_sample());
+    }
+
+    #[test]
+    fn truncation_is_typed_not_silent() {
+        let bytes = write_sample();
+        let cut = bytes.len() - 3;
+        let err = Journal::open(Cursor::new(bytes[..cut].to_vec())).unwrap_err();
+        assert!(matches!(err, JournalError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        assert_eq!(
+            Journal::open(Cursor::new(b"NOPE\x01\x00\x00\x00".to_vec())).unwrap_err(),
+            JournalError::BadMagic
+        );
+        let mut bytes = write_sample();
+        bytes[4] = 9;
+        assert_eq!(
+            Journal::open(Cursor::new(bytes)).unwrap_err(),
+            JournalError::BadVersion(9)
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! [`ChaosPlane`]: the fault-injecting, journal-writing implementation
+//! of `sybil-serve`'s [`FaultPlane`] trait.
+//!
+//! The plane is where the declarative [`FaultSchedule`] meets the
+//! coordinator's hook points: schedule entries are indexed by
+//! `(epoch, shard)` at construction, every hook answers from that index
+//! in O(log n), and the write-ahead [`Journal`] rides the
+//! `epoch_begin` / `epoch_commit` / `run_end` barrier hooks. All
+//! journal failures surface as typed [`ChaosError`]s with
+//! `FaultKind::Journal` — the engine's headline invariant forbids a
+//! broken journal from producing a silently different answer.
+//!
+//! The plane also keeps the ledger the recovery report is built from:
+//! how many faults of each kind were injected (tallied at `epoch_begin`,
+//! so faults in an epoch that later errors are still counted), how many
+//! epochs crash recovery replayed, and the total absorbed latency in
+//! logical epochs.
+
+use crate::journal::Journal;
+use crate::schedule::{FaultSchedule, FaultSpecKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{Read, Seek, Write};
+use sybil_serve::fault::{
+    ChaosError, EpochRecord, EpochRecordRef, FaultKind, FaultPlane, ShardFault,
+};
+
+/// How many faults of each kind a run injected. Serialized into the
+/// recovery report and exported as `chaos.injected.*` counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTally {
+    /// Shard-result stalls.
+    pub stalls: u64,
+    /// Staging-queue capacity clamps.
+    pub queue_clamps: u64,
+    /// Delayed epoch barriers.
+    pub barrier_delays: u64,
+    /// Reordered barrier arrivals.
+    pub barrier_reorders: u64,
+    /// Shard crashes.
+    pub crashes: u64,
+}
+
+impl FaultTally {
+    /// Total faults across all kinds.
+    pub fn total(&self) -> u64 {
+        self.stalls + self.queue_clamps + self.barrier_delays + self.barrier_reorders + self.crashes
+    }
+}
+
+/// The chaos implementation of [`FaultPlane`], generic over the journal
+/// store (a file, or `Cursor<Vec<u8>>` in memory).
+pub struct ChaosPlane<S> {
+    schedule: FaultSchedule,
+    /// `(epoch, shard) → stall epochs`.
+    stalls: BTreeMap<(u64, usize), u32>,
+    /// `(epoch, shard) → clamped queue capacity`.
+    clamps: BTreeMap<(u64, usize), usize>,
+    /// Crashed `(epoch, shard)` pairs.
+    crashes: BTreeSet<(u64, usize)>,
+    /// `epoch → barrier delay in epochs`.
+    delays: BTreeMap<u64, u32>,
+    /// Epochs with shuffled barrier arrival.
+    reorders: BTreeSet<u64>,
+    journal: Journal<S>,
+    /// Take per-shard digests every this many epochs (0 = never; the
+    /// run-end digests are always taken by the engine regardless).
+    digest_every: u64,
+    injected: FaultTally,
+    /// Epochs re-run out of the journal by crash recovery.
+    epochs_replayed: u64,
+    /// Digest verifications performed during replay.
+    replay_digest_checks: u64,
+    /// Absorbed latency: stall + barrier-delay epochs (crash replay adds
+    /// `epochs_replayed` on top; see [`ChaosPlane::recovery_latency_epochs`]).
+    absorbed_latency_epochs: u64,
+}
+
+/// Default digest cadence: per-shard state digests every 4th epoch.
+/// Digesting is O(total state) and lands on the barrier, so this is the
+/// knob behind the <5% journal-overhead acceptance gate; the run-end
+/// record always carries final digests, so sparser commits only widen
+/// the window between *intermediate* divergence checks (to at most 3
+/// epochs), never weaken the end-state byte-identity proof.
+pub const DEFAULT_DIGEST_CADENCE: u64 = 4;
+
+impl<S: Read + Write + Seek> ChaosPlane<S> {
+    /// Build a plane from a schedule and a journal, digesting every
+    /// [`DEFAULT_DIGEST_CADENCE`] epochs.
+    pub fn new(schedule: FaultSchedule, journal: Journal<S>) -> Self {
+        Self::with_digest_cadence(schedule, journal, DEFAULT_DIGEST_CADENCE)
+    }
+
+    /// [`new`](ChaosPlane::new) with a digest cadence: per-shard state
+    /// digests are journaled every `digest_every` epochs (digesting is
+    /// O(total state), so long runs may want a sparser cadence).
+    pub fn with_digest_cadence(
+        schedule: FaultSchedule,
+        journal: Journal<S>,
+        digest_every: u64,
+    ) -> Self {
+        let mut p = ChaosPlane {
+            schedule,
+            stalls: BTreeMap::new(),
+            clamps: BTreeMap::new(),
+            crashes: BTreeSet::new(),
+            delays: BTreeMap::new(),
+            reorders: BTreeSet::new(),
+            journal,
+            digest_every,
+            injected: FaultTally::default(),
+            epochs_replayed: 0,
+            replay_digest_checks: 0,
+            absorbed_latency_epochs: 0,
+        };
+        for f in &p.schedule.faults {
+            match f.kind {
+                FaultSpecKind::Stall { epochs } => {
+                    p.stalls.insert((f.epoch, f.shard), epochs);
+                }
+                FaultSpecKind::QueueClamp { capacity } => {
+                    p.clamps.insert((f.epoch, f.shard), capacity);
+                }
+                FaultSpecKind::Crash => {
+                    p.crashes.insert((f.epoch, f.shard));
+                }
+                FaultSpecKind::DelayBarrier { epochs } => {
+                    p.delays.insert(f.epoch, epochs);
+                }
+                FaultSpecKind::ReorderBarrier => {
+                    p.reorders.insert(f.epoch);
+                }
+            }
+        }
+        p
+    }
+
+    /// The schedule this plane runs.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// The journal (for byte counts and post-run reads).
+    pub fn journal(&self) -> &Journal<S> {
+        &self.journal
+    }
+
+    /// Consume the plane, returning the journal.
+    pub fn into_journal(self) -> Journal<S> {
+        self.journal
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> FaultTally {
+        self.injected
+    }
+
+    /// Epochs crash recovery re-ran out of the journal.
+    pub fn epochs_replayed(&self) -> u64 {
+        self.epochs_replayed
+    }
+
+    /// Digest verifications performed during replay.
+    pub fn replay_digest_checks(&self) -> u64 {
+        self.replay_digest_checks
+    }
+
+    /// Total recovery latency in logical epochs: absorbed stall and
+    /// barrier-delay epochs, plus one epoch per journal replay.
+    pub fn recovery_latency_epochs(&self) -> u64 {
+        self.absorbed_latency_epochs + self.epochs_replayed
+    }
+
+    /// Whether `(epoch, shard)` has a scheduled queue clamp — used by
+    /// the runner to attribute a surfaced overflow to its injected
+    /// fault.
+    pub fn clamp_scheduled(&self, epoch: u64, shard: usize) -> bool {
+        self.clamps.contains_key(&(epoch, shard))
+    }
+
+    fn journal_err(epoch: u64) -> ChaosError {
+        ChaosError {
+            epoch,
+            shard: None,
+            fault_kind: FaultKind::Journal,
+        }
+    }
+}
+
+impl<S: Read + Write + Seek> FaultPlane for ChaosPlane<S> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn epoch_begin(&mut self, rec: EpochRecordRef<'_>) -> Result<(), ChaosError> {
+        // Tally this epoch's scheduled faults up front, so an epoch that
+        // errors mid-flight still reports what was injected into it.
+        for f in &self.schedule.faults {
+            if f.epoch != rec.epoch {
+                continue;
+            }
+            match f.kind {
+                FaultSpecKind::Stall { epochs } => {
+                    self.injected.stalls += 1;
+                    self.absorbed_latency_epochs += u64::from(epochs);
+                }
+                FaultSpecKind::QueueClamp { .. } => self.injected.queue_clamps += 1,
+                FaultSpecKind::DelayBarrier { epochs } => {
+                    self.injected.barrier_delays += 1;
+                    self.absorbed_latency_epochs += u64::from(epochs);
+                }
+                FaultSpecKind::ReorderBarrier => self.injected.barrier_reorders += 1,
+                FaultSpecKind::Crash => self.injected.crashes += 1,
+            }
+        }
+        self.journal
+            .append_begin(rec)
+            .map_err(|_| Self::journal_err(rec.epoch))
+    }
+
+    fn queue_clamp(&self, epoch: u64, shard: usize) -> Option<usize> {
+        self.clamps.get(&(epoch, shard)).copied()
+    }
+
+    fn shard_fault(&self, epoch: u64, shard: usize) -> ShardFault {
+        if self.crashes.contains(&(epoch, shard)) {
+            ShardFault::Crash
+        } else if let Some(&n) = self.stalls.get(&(epoch, shard)) {
+            ShardFault::Stall(n)
+        } else {
+            ShardFault::Healthy
+        }
+    }
+
+    fn deliver_order(&self, epoch: u64, shards: usize) -> Option<Vec<usize>> {
+        self.reorders
+            .contains(&epoch)
+            .then(|| self.schedule.reorder_permutation(epoch, shards))
+    }
+
+    fn wants_digests(&self, epoch: u64) -> bool {
+        self.digest_every != 0 && epoch.is_multiple_of(self.digest_every)
+    }
+
+    fn epoch_commit(&mut self, epoch: u64, digests: Option<&[u64]>) -> Result<(), ChaosError> {
+        self.journal
+            .append_commit(epoch, digests)
+            .map_err(|_| Self::journal_err(epoch))
+    }
+
+    fn replay_epoch(&mut self, epoch: u64) -> Result<Option<EpochRecord>, ChaosError> {
+        let rec = self
+            .journal
+            .read_epoch(epoch)
+            .map_err(|_| Self::journal_err(epoch))?;
+        if rec.is_some() {
+            self.epochs_replayed += 1;
+        }
+        Ok(rec)
+    }
+
+    fn committed_digest(&mut self, epoch: u64, shard: usize) -> Option<u64> {
+        let d = self.journal.committed_digest(epoch, shard);
+        if d.is_some() {
+            self.replay_digest_checks += 1;
+        }
+        d
+    }
+
+    fn run_end(&mut self, epochs: u64, digests: &[u64]) -> Result<(), ChaosError> {
+        self.journal
+            .append_end(epochs, digests)
+            .map_err(|_| Self::journal_err(epochs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FaultSpec;
+    use std::io::Cursor;
+
+    fn plane(faults: Vec<FaultSpec>) -> ChaosPlane<Cursor<Vec<u8>>> {
+        let mut schedule = FaultSchedule { seed: 1, faults };
+        schedule.normalize();
+        let journal = Journal::create(Cursor::new(Vec::new())).unwrap();
+        ChaosPlane::new(schedule, journal)
+    }
+
+    #[test]
+    fn schedule_entries_answer_the_matching_hooks() {
+        let p = plane(vec![
+            FaultSpec {
+                epoch: 2,
+                shard: 1,
+                kind: FaultSpecKind::Crash,
+            },
+            FaultSpec {
+                epoch: 3,
+                shard: 0,
+                kind: FaultSpecKind::Stall { epochs: 2 },
+            },
+            FaultSpec {
+                epoch: 4,
+                shard: 2,
+                kind: FaultSpecKind::QueueClamp { capacity: 1 },
+            },
+            FaultSpec {
+                epoch: 5,
+                shard: 0,
+                kind: FaultSpecKind::ReorderBarrier,
+            },
+        ]);
+        assert!(p.enabled());
+        assert_eq!(p.shard_fault(2, 1), ShardFault::Crash);
+        assert_eq!(p.shard_fault(2, 0), ShardFault::Healthy);
+        assert_eq!(p.shard_fault(3, 0), ShardFault::Stall(2));
+        assert_eq!(p.queue_clamp(4, 2), Some(1));
+        assert_eq!(p.queue_clamp(4, 1), None);
+        assert!(p.clamp_scheduled(4, 2));
+        assert!(!p.clamp_scheduled(4, 0));
+        let ord = p.deliver_order(5, 4).unwrap();
+        let mut sorted = ord.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert_eq!(p.deliver_order(4, 4), None);
+    }
+
+    #[test]
+    fn tallies_count_at_epoch_begin() {
+        let mut p = plane(vec![
+            FaultSpec {
+                epoch: 0,
+                shard: 0,
+                kind: FaultSpecKind::Stall { epochs: 3 },
+            },
+            FaultSpec {
+                epoch: 0,
+                shard: 1,
+                kind: FaultSpecKind::Crash,
+            },
+            FaultSpec {
+                epoch: 9,
+                shard: 0,
+                kind: FaultSpecKind::Crash,
+            },
+        ]);
+        p.epoch_begin(EpochRecordRef {
+            epoch: 0,
+            events: &[],
+            details: &[],
+            feedback: &[],
+        })
+        .unwrap();
+        let t = p.injected();
+        assert_eq!((t.stalls, t.crashes, t.total()), (1, 1, 2));
+        assert_eq!(p.recovery_latency_epochs(), 3, "stall epochs absorbed");
+    }
+}

@@ -1,0 +1,230 @@
+//! Seeded, serializable fault schedules.
+//!
+//! A [`FaultSchedule`] is the declarative input to the chaos engine: a
+//! seed plus a list of [`FaultSpec`]s, each naming an epoch, a shard
+//! (for shard-scoped faults), and a [`FaultSpecKind`]. Schedules are
+//! plain serde values, so they round-trip through JSON — `repro chaos
+//! --faults FILE` loads one, and every generated schedule can be dumped
+//! for replay in a bug report.
+//!
+//! [`FaultSchedule::generate`] derives a schedule from a seed alone,
+//! through the same SplitMix64 finalizer (`osn_sim::splitmix64`) the
+//! scale generator uses — same seed, same faults, on every machine. The
+//! draw for fault *i* never depends on earlier draws, so schedules with
+//! different fault counts share a prefix.
+
+use osn_sim::splitmix64;
+use serde::{Deserialize, Serialize};
+
+/// One kind of injected fault. Shard-scoped kinds (everything except the
+/// barrier faults) apply to the `(epoch, shard)` named by the spec;
+/// barrier kinds apply to the epoch as a whole and ignore the shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultSpecKind {
+    /// The shard's epoch result arrives late by this many logical
+    /// epochs. Absorbed at the barrier: costs latency, never bytes.
+    Stall {
+        /// Logical epochs of delay.
+        epochs: u32,
+    },
+    /// Clamp the shard's staging-queue capacities to this many slots,
+    /// forcing an overflow when the epoch stages more effects.
+    QueueClamp {
+        /// Clamped capacity in queue slots.
+        capacity: usize,
+    },
+    /// The epoch's barrier fires late. Logical delay, absorbed (the
+    /// merge is all-or-nothing regardless of when it runs).
+    DelayBarrier {
+        /// Logical epochs of delay.
+        epochs: u32,
+    },
+    /// Shard results reach the barrier in a seed-derived shuffled order.
+    /// Must be output-neutral: the merge is keyed by shard id.
+    ReorderBarrier,
+    /// The shard loses its in-memory state mid-epoch; recovery replays
+    /// the write-ahead journal.
+    Crash,
+}
+
+impl FaultSpecKind {
+    /// Whether the kind targets a single shard (vs. the whole barrier).
+    pub fn shard_scoped(self) -> bool {
+        !matches!(
+            self,
+            FaultSpecKind::DelayBarrier { .. } | FaultSpecKind::ReorderBarrier
+        )
+    }
+
+    /// Short stable name for reports and metrics keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSpecKind::Stall { .. } => "stall",
+            FaultSpecKind::QueueClamp { .. } => "queue_clamp",
+            FaultSpecKind::DelayBarrier { .. } => "delay_barrier",
+            FaultSpecKind::ReorderBarrier => "reorder_barrier",
+            FaultSpecKind::Crash => "crash",
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Epoch (0-based barrier count) the fault fires in.
+    pub epoch: u64,
+    /// Target shard for shard-scoped kinds; ignored by barrier kinds.
+    pub shard: usize,
+    /// What happens.
+    pub kind: FaultSpecKind,
+}
+
+/// A seeded fault schedule: the complete chaos input for one run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// The seed the schedule was derived from (0 for hand-written
+    /// schedules). Also seeds the reorder permutations at run time, so
+    /// a loaded schedule replays the exact shuffles it was generated
+    /// with.
+    pub seed: u64,
+    /// The faults, sorted by `(epoch, shard)`.
+    pub faults: Vec<FaultSpec>,
+}
+
+/// Domain tag separating schedule draws from every other consumer of
+/// the shared SplitMix64 stream.
+const DOMAIN: u64 = 0xFA17_5EED_0000_0000;
+
+/// The `i`-th draw of the schedule stream for `seed`, uniform in
+/// `[0, m)`.
+fn draw(seed: u64, i: u64, m: u64) -> u64 {
+    splitmix64(seed ^ DOMAIN ^ splitmix64(i)) % m.max(1)
+}
+
+impl FaultSchedule {
+    /// A schedule with no faults (journal-only runs: write-ahead records
+    /// and digests still flow, nothing is injected).
+    pub fn journal_only(seed: u64) -> Self {
+        FaultSchedule {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Derive `count` faults over `epochs × shards` from `seed`.
+    ///
+    /// Deterministic and machine-independent: fault *i* is a pure
+    /// function of `(seed, i)`. Collisions on `(epoch, shard)` keep the
+    /// first draw, so the realized count can be slightly below `count`
+    /// on tiny grids — the report states the realized number.
+    pub fn generate(seed: u64, epochs: u64, shards: usize, count: usize) -> Self {
+        let mut faults: Vec<FaultSpec> = Vec::with_capacity(count);
+        for i in 0..count as u64 {
+            let epoch = draw(seed, i * 4, epochs.max(1));
+            let shard = draw(seed, i * 4 + 1, shards.max(1) as u64) as usize;
+            let kind = match draw(seed, i * 4 + 2, 5) {
+                0 => FaultSpecKind::Stall {
+                    epochs: 1 + draw(seed, i * 4 + 3, 3) as u32,
+                },
+                1 => FaultSpecKind::QueueClamp {
+                    // Tiny clamps nearly always overflow; generous ones
+                    // nearly never — both arms of the invariant get
+                    // exercised.
+                    capacity: 1 << draw(seed, i * 4 + 3, 12),
+                },
+                2 => FaultSpecKind::DelayBarrier {
+                    epochs: 1 + draw(seed, i * 4 + 3, 3) as u32,
+                },
+                3 => FaultSpecKind::ReorderBarrier,
+                _ => FaultSpecKind::Crash,
+            };
+            faults.push(FaultSpec { epoch, shard, kind });
+        }
+        let mut sched = FaultSchedule { seed, faults };
+        sched.normalize();
+        sched
+    }
+
+    /// Sort by `(epoch, shard, kind-name)` and drop duplicate
+    /// `(epoch, shard)` pairs (first kept). Called by [`generate`] and
+    /// after loading a file, so the plane's index build is unambiguous.
+    ///
+    /// [`generate`]: FaultSchedule::generate
+    pub fn normalize(&mut self) {
+        self.faults
+            .sort_by(|a, b| (a.epoch, a.shard, a.kind.name()).cmp(&(b.epoch, b.shard, b.kind.name())));
+        let mut seen: Vec<(u64, usize)> = Vec::with_capacity(self.faults.len());
+        self.faults.retain(|f| {
+            let key = (f.epoch, f.shard);
+            if seen.contains(&key) {
+                false
+            } else {
+                seen.push(key);
+                true
+            }
+        });
+    }
+
+    /// The seed-derived barrier arrival permutation for `epoch` over
+    /// `shards` results: a Fisher–Yates shuffle driven by the schedule
+    /// stream, so the same `(seed, epoch)` always reorders identically.
+    pub fn reorder_permutation(&self, epoch: u64, shards: usize) -> Vec<usize> {
+        let mut ord: Vec<usize> = (0..shards).collect();
+        for i in (1..shards).rev() {
+            let j = draw(self.seed, DOMAIN ^ (epoch << 16) ^ i as u64, i as u64 + 1) as usize;
+            ord.swap(i, j);
+        }
+        ord
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_normalized() {
+        let a = FaultSchedule::generate(42, 10, 8, 12);
+        let b = FaultSchedule::generate(42, 10, 8, 12);
+        assert_eq!(a, b);
+        for w in a.faults.windows(2) {
+            assert!((w[0].epoch, w[0].shard) < (w[1].epoch, w[1].shard));
+        }
+        let c = FaultSchedule::generate(43, 10, 8, 12);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let a = FaultSchedule::generate(7, 6, 4, 8);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn reorder_permutation_is_a_permutation() {
+        let s = FaultSchedule::journal_only(99);
+        for shards in [1usize, 2, 8] {
+            for epoch in 0..4u64 {
+                let mut p = s.reorder_permutation(epoch, shards);
+                p.sort_unstable();
+                assert_eq!(p, (0..shards).collect::<Vec<_>>());
+            }
+        }
+        assert_ne!(
+            s.reorder_permutation(0, 8),
+            s.reorder_permutation(1, 8),
+            "epochs should shuffle differently almost surely"
+        );
+    }
+
+    #[test]
+    fn shard_scoped_classification() {
+        assert!(FaultSpecKind::Crash.shard_scoped());
+        assert!(FaultSpecKind::Stall { epochs: 1 }.shard_scoped());
+        assert!(FaultSpecKind::QueueClamp { capacity: 1 }.shard_scoped());
+        assert!(!FaultSpecKind::ReorderBarrier.shard_scoped());
+        assert!(!FaultSpecKind::DelayBarrier { epochs: 1 }.shard_scoped());
+    }
+}

@@ -207,12 +207,13 @@ pub fn parse(content: &str) -> Result<Allowlist, ParseError> {
             let slot = match (t, key) {
                 (EffTable::Roots, "clockless") => &mut effects.clockless_roots,
                 (EffTable::Roots, "io_free") => &mut effects.io_free_roots,
+                (EffTable::Roots, "fault_plane") => &mut effects.fault_plane_roots,
                 (EffTable::Sinks, "byte_stable") => &mut effects.byte_stable_sinks,
                 (EffTable::HotRoots, "per_event") => &mut hotpaths.per_event_roots,
                 (EffTable::Roots, _) => {
                     return Err(ParseError::at(
                         lineno,
-                        format!("unknown key {key:?} in [effects.roots] (allowed: clockless, io_free)"),
+                        format!("unknown key {key:?} in [effects.roots] (allowed: clockless, io_free, fault_plane)"),
                     ))
                 }
                 (EffTable::Sinks, _) => {

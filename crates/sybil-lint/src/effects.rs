@@ -149,6 +149,10 @@ pub struct EffectConfig {
     /// S111 sinks: serialization/export entry points that must not
     /// reach unordered hash iteration.
     pub byte_stable_sinks: Vec<String>,
+    /// S118 roots: the production fault-plane surface (the `FaultPlane`
+    /// trait's no-op defaults and `NoFaults`), which must not reach
+    /// filesystem/stdio IO — journaling belongs to the chaos plane only.
+    pub fault_plane_roots: Vec<String>,
 }
 
 impl EffectConfig {
@@ -467,6 +471,15 @@ pub(crate) fn check_effects(
             role: "byte-stable export sink",
             fix: "iterate a BTree container or collect-and-sort before \
                   serializing so the exported bytes are order-stable",
+        },
+        Family {
+            rule: "S118",
+            pats: &cfg.fault_plane_roots,
+            mask: io,
+            role: "production fault-plane hook",
+            fix: "keep the production plane a pure no-op — journal writes \
+                  and other IO belong in the chaos plane's override, never \
+                  in the default the real engine runs",
         },
     ];
 

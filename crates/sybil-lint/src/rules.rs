@@ -42,9 +42,9 @@ pub const ALL_RULES: [&str; 6] = ["D001", "D002", "D003", "D004", "D005", "D006"
 
 /// All semantic (call-graph) rule codes, in order. These run only with
 /// `--workspace`, because they need every file to resolve calls.
-pub const SEM_RULES: [&str; 17] = [
+pub const SEM_RULES: [&str; 18] = [
     "S101", "S102", "S103", "S104", "S105", "S106", "S107", "S108", "S109", "S110", "S111",
-    "S112", "S113", "S114", "S115", "S116", "S117",
+    "S112", "S113", "S114", "S115", "S116", "S117", "S118",
 ];
 
 /// Is `code` any rule this tool knows (token or semantic)?
@@ -78,6 +78,7 @@ pub fn rule_summary(code: &str) -> &'static str {
         "S115" => "truncating `as` cast on id/count types reachable from a hot path",
         "S116" => "blocking acquisition (lock / recv / wait) reachable from a hot loop",
         "S117" => "recursion reachable from a hot path (unbounded stack and work)",
+        "S118" => "IO effect reachable from a production fault-plane hook (no-op surface)",
         _ => "unknown rule",
     }
 }
@@ -299,6 +300,22 @@ pub fn rule_explanation(code: &str) -> Option<&'static str> {
                    be spurious — two unrelated `step` methods wiring into each other; \
                    renaming one of the methods is usually the cleanest fix and sharpens \
                    every other S-rule at the same time.",
+        "S118" => "S118 — IO reachable from a production fault-plane hook\n\nThe chaos \
+                   subsystem hooks the serving engine through the FaultPlane trait: the \
+                   engine consults the plane at every decision point, and production runs \
+                   pass the no-op plane, whose hooks must compile down to nothing. An IO \
+                   effect (file open/read/write, stdio) reachable from one of the \
+                   `[effects.roots] fault_plane` patterns means the *production* path \
+                   would journal, log, or touch disk on every epoch — the exact overhead \
+                   the trait split exists to keep at zero, and a nondeterminism hole the \
+                   byte-identity gates cannot see because they replay through the same \
+                   plane.\n\nS118 reuses the S110 IO effect inference (intrinsic sites \
+                   plus interprocedural fixpoint) but roots it at the fault-plane \
+                   surface: the trait's default methods and the NoFaults impl. Fix by \
+                   moving the IO into the chaos plane's override (sybil-chaos owns the \
+                   write-ahead journal) and keeping the default a pure return. There is \
+                   deliberately no allowlist story here — a production hook that needs \
+                   IO is a design error, not a reviewable exception.",
         _ => return None,
     })
 }

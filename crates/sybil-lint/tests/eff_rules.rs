@@ -57,6 +57,15 @@ fn cfg(clockless: &[&str], io_free: &[&str], sinks: &[&str]) -> EffectConfig {
         clockless_roots: v(clockless),
         io_free_roots: v(io_free),
         byte_stable_sinks: v(sinks),
+        ..EffectConfig::default()
+    }
+}
+
+/// S118 config: only the fault-plane root patterns set.
+fn fault_cfg(roots: &[&str]) -> EffectConfig {
+    EffectConfig {
+        fault_plane_roots: roots.iter().map(|s| s.to_string()).collect(),
+        ..EffectConfig::default()
     }
 }
 
@@ -74,6 +83,12 @@ const PAR: &[(&str, &str)] = &[
 ];
 const IO: &[(&str, &str)] = &[
     ("lib.rs", "src/lib.rs"),
+    ("journal.rs", "src/journal.rs"),
+    ("use_api.rs", "tests/use_api.rs"),
+];
+const FAULT: &[(&str, &str)] = &[
+    ("lib.rs", "src/lib.rs"),
+    ("plane.rs", "src/plane.rs"),
     ("journal.rs", "src/journal.rs"),
     ("use_api.rs", "tests/use_api.rs"),
 ];
@@ -228,6 +243,49 @@ fn s110_io_write_reports_chain() {
         ],
         "{v:#?}"
     );
+}
+
+// ---------------------------------------------------------------------
+// S118: IO reachable from the production fault-plane surface (the
+// trait's default hooks), rooted by module pattern like the real
+// `sybil-serve::fault::*` config.
+
+#[test]
+fn s118_default_hook_reaching_io_reports_chain() {
+    let f = eff_findings("eff_fault_bad", FAULT, &fault_cfg(&["eff_fault_bad::plane::*"]));
+    assert_eq!(f.len(), 1, "{f:#?}");
+    let v = &f[0];
+    assert_eq!(v.rule, "S118");
+    assert_eq!(v.path, "crates/eff_fault_bad/src/journal.rs");
+    assert_eq!(v.line, 2);
+    assert_eq!(
+        v.message,
+        "`fs::write` (IO write) is reachable from production fault-plane hook \
+         `eff_fault_bad::plane::epoch_commit` (1 call away); keep the \
+         production plane a pure no-op — journal writes and other IO belong \
+         in the chaos plane's override, never in the default the real engine \
+         runs"
+    );
+    assert_eq!(
+        v.trace,
+        vec![
+            "eff_fault_bad::plane::epoch_commit calls eff_fault_bad::journal::flush at \
+             crates/eff_fault_bad/src/plane.rs:9"
+                .to_string(),
+            "eff_fault_bad::journal::flush performs IO write via `fs::write` at \
+             crates/eff_fault_bad/src/journal.rs:2"
+                .to_string(),
+        ],
+        "{v:#?}"
+    );
+}
+
+#[test]
+fn s118_is_silent_for_an_io_free_plane() {
+    // The clean fixture's `serve` designated as fault-plane root: no IO
+    // anywhere in its reach, so S118 stays quiet.
+    let f = eff_findings("eff_clean", ONE, &fault_cfg(&["eff_clean::serve"]));
+    assert!(f.is_empty(), "{f:#?}");
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,7 @@
+pub fn flush(bytes: &[u8]) -> usize {
+    if std::fs::write("journal.bin", bytes).is_ok() {
+        bytes.len()
+    } else {
+        0
+    }
+}

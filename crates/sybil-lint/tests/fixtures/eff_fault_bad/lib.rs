@@ -1,0 +1,6 @@
+//! BAD: the production fault-plane surface reaches `fs::write` through
+//! the trait's default hook — the plane the real engine runs would
+//! journal to disk on every epoch.
+
+pub mod journal;
+pub mod plane;

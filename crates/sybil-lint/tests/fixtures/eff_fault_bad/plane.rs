@@ -1,0 +1,16 @@
+//! The fault-plane surface: the engine consults `Plane` at every
+//! decision point; production passes [`NoFaults`], which keeps every
+//! default. One default hook reaching IO poisons the production path.
+
+/// The hook trait; every default must stay a pure no-op.
+pub trait Plane {
+    /// BAD: the default hook journals to disk.
+    fn epoch_commit(&self, bytes: &[u8]) -> usize {
+        crate::journal::flush(bytes)
+    }
+}
+
+/// The production plane: all defaults.
+pub struct NoFaults;
+
+impl Plane for NoFaults {}

@@ -1,0 +1,10 @@
+// Keeps the fixture's exports alive for S104: Plane, NoFaults,
+// epoch_commit, flush.
+
+fn main() {
+    let p = eff_fault_bad::plane::NoFaults;
+    let _ = (
+        eff_fault_bad::plane::Plane::epoch_commit(&p, &[]),
+        eff_fault_bad::journal::flush(&[]),
+    );
+}

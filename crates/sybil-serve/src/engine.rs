@@ -27,9 +27,10 @@
 //! [`DeploymentReport`] is byte-identical to [`replay`]'s at every shard
 //! and thread count.
 
+use crate::fault::{ChaosError, EpochRecordRef, FaultKind, FaultPlane, NoFaults, ShardFault};
 use crate::mirror::GraphMirror;
 use crate::queue::QueueFull;
-use crate::shard::{ShardState, TaggedDetection, TaggedFeedback};
+use crate::shard::{EpochOutput, ShardObs, ShardState, TaggedDetection, TaggedFeedback};
 use osn_graph::par;
 use osn_sim::stream::EpochBatches;
 use osn_sim::SimOutput;
@@ -81,12 +82,17 @@ impl ServeConfig {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ServeError {
     /// A shard staged more effects than its epoch-invariant bound — an
-    /// engine bug, surfaced instead of silently growing the queue.
+    /// engine bug, surfaced instead of silently growing the queue. The
+    /// carried [`QueueFull`] names the exact `(epoch, shard, seq)` site.
     QueueOverflow(QueueFull),
     /// `adaptive` with `feedback_delay_h == 0` cannot be sharded: feedback
     /// would be due within the epoch that generated it, and the sequential
     /// engine would apply it between adjacent events.
     ZeroFeedbackDelay,
+    /// A fault-plane failure: an injected fault that could not be
+    /// absorbed, a journal failure, or a crash replay that diverged.
+    /// Always attributed — never a silent wrong answer.
+    Chaos(ChaosError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -96,6 +102,7 @@ impl std::fmt::Display for ServeError {
             ServeError::ZeroFeedbackDelay => {
                 write!(f, "adaptive serving requires feedback_delay_h ≥ 1")
             }
+            ServeError::Chaos(c) => write!(f, "{c}"),
         }
     }
 }
@@ -142,7 +149,7 @@ pub fn serve_timed(
     cfg: &ServeConfig,
     clock: Clock<'_>,
 ) -> Result<(DeploymentReport, ServeStats), ServeError> {
-    serve_inner(out, cfg, clock, None)
+    serve_inner(out, cfg, clock, None, &mut NoFaults)
 }
 
 /// [`serve_timed`] with metrics: shard work tallies (drained at each
@@ -158,16 +165,57 @@ pub fn serve_observed(
     clock: Clock<'_>,
     obs: &mut sybil_obs::Registry,
 ) -> Result<(DeploymentReport, ServeStats), ServeError> {
-    serve_inner(out, cfg, clock, Some(obs))
+    serve_inner(out, cfg, clock, Some(obs), &mut NoFaults)
 }
 
-/// The one coordinator loop behind [`serve_timed`] and
-/// [`serve_observed`].
-fn serve_inner(
+/// [`serve`] under a chaos plane: the same coordinator loop, consulting
+/// `plane` at every decision point (write-ahead journaling, queue
+/// clamps, crashes, delivery order). With a plane whose
+/// [`enabled`](FaultPlane::enabled) is `false` this is exactly
+/// [`serve`].
+pub fn serve_with_plane<P: FaultPlane>(
+    out: &SimOutput,
+    cfg: &ServeConfig,
+    plane: &mut P,
+) -> Result<DeploymentReport, ServeError> {
+    serve_inner(out, cfg, &|| 0.0, None, plane).map(|(report, _)| report)
+}
+
+/// [`serve_with_plane`] with an injected clock, returning the timing
+/// breakdown — the chaos bench measures journal overhead against the
+/// fault-free critical path through this entry point.
+pub fn serve_with_plane_timed<P: FaultPlane>(
+    out: &SimOutput,
+    cfg: &ServeConfig,
+    clock: Clock<'_>,
+    plane: &mut P,
+) -> Result<(DeploymentReport, ServeStats), ServeError> {
+    serve_inner(out, cfg, clock, None, plane)
+}
+
+/// [`serve_with_plane`] with metrics: shard tallies land in `obs` under
+/// the same keys as [`serve_observed`], so a recovered run's logical
+/// metrics can be compared against the fault-free run's.
+pub fn serve_with_plane_observed<P: FaultPlane>(
+    out: &SimOutput,
+    cfg: &ServeConfig,
+    clock: Clock<'_>,
+    obs: &mut sybil_obs::Registry,
+    plane: &mut P,
+) -> Result<(DeploymentReport, ServeStats), ServeError> {
+    serve_inner(out, cfg, clock, Some(obs), plane)
+}
+
+/// The one coordinator loop behind [`serve_timed`], [`serve_observed`],
+/// and the `serve_with_plane*` chaos entry points. Generic over the
+/// fault plane so the production instantiation (with [`NoFaults`])
+/// monomorphizes every hook to an inlined no-op.
+fn serve_inner<P: FaultPlane>(
     out: &SimOutput,
     cfg: &ServeConfig,
     clock: Clock<'_>,
     mut obs: Option<&mut sybil_obs::Registry>,
+    plane: &mut P,
 ) -> Result<(DeploymentReport, ServeStats), ServeError> {
     let rt = cfg.detect.sanitized();
     if rt.adaptive && rt.feedback_delay_h == 0 {
@@ -210,32 +258,123 @@ fn serve_inner(
     let mut epochs: u64 = 0;
     let t_start = clock();
 
+    // One branch per run, not per epoch: a disabled plane (production)
+    // skips every chaos block below.
+    let chaos = plane.enabled();
+
     while let Some((events, details)) = batches.next_epoch() {
         let feed = std::mem::take(&mut carry_feedback);
         let t_epoch = clock();
+        let epoch_no = epochs;
+        if chaos {
+            // Write-ahead: the journal records the epoch's full input
+            // *before* any shard touches it, so a mid-epoch crash can
+            // always replay the in-flight epoch.
+            plane
+                .epoch_begin(EpochRecordRef {
+                    epoch: epoch_no,
+                    events,
+                    details,
+                    feedback: &feed,
+                })
+                .map_err(ServeError::Chaos)?;
+        }
         // Sequential prepass: collect the epoch's new edges, seq-tagged,
         // so shards can read them without maintaining their own mirrors.
         let eidx = mirror.index_epoch(events, details);
-        let results = par::map_owned(std::mem::take(&mut shards), |mut s| {
+        let clamps: Vec<Option<usize>> = if chaos {
+            (0..shards_n).map(|s| plane.queue_clamp(epoch_no, s)).collect()
+        } else {
+            Vec::new()
+        };
+        // Barrier digests are per-shard work: each worker digests its own
+        // state inside the parallel section (and inside its busy window)
+        // instead of the coordinator folding all shards serially.
+        let want_dig = chaos && plane.wants_digests(epoch_no);
+        let mut results = par::map_owned(std::mem::take(&mut shards), |mut s| {
+            let sid = s.id();
+            let clamp = clamps.get(sid).copied().flatten();
             let t0 = clock();
-            let staged = s.run_epoch(events, details, out, &feed, &mirror, &eidx);
+            let staged =
+                s.run_epoch(events, details, out, &feed, &mirror, &eidx, epoch_no, clamp);
+            let dig = (want_dig && staged.is_ok()).then(|| s.digest());
             let busy = clock() - t0;
-            staged.map(|e| (s, e, busy))
+            staged.map(|e| (sid, s, e, busy, dig))
         });
 
         epochs += 1;
         totals.events_processed += events.len() as u64;
+        if chaos {
+            // Delivery-order fault: results may reach the barrier in any
+            // order. The fold below is keyed by the shard-id tag, so a
+            // permutation must be output-neutral.
+            if let Some(ord) = plane.deliver_order(epoch_no, shards_n) {
+                results = permute(results, &ord);
+            }
+        }
+        // Collect arrivals; a crashed shard's result (or its overflow
+        // error) dies with the crash and is replaced by journal replay.
+        let mut arrived: Vec<(usize, ShardState, EpochOutput, f64, Option<u64>)> =
+            Vec::with_capacity(shards_n);
+        for r in results {
+            match r {
+                Ok((sid, s, eout, busy, dig)) => {
+                    if chaos && plane.shard_fault(epoch_no, sid) == ShardFault::Crash {
+                        continue;
+                    }
+                    arrived.push((sid, s, eout, busy, dig));
+                }
+                Err(q) => {
+                    let crashed = chaos
+                        && q.site.is_some_and(|site| {
+                            plane.shard_fault(epoch_no, site.shard) == ShardFault::Crash
+                        });
+                    if !crashed {
+                        return Err(ServeError::QueueOverflow(q));
+                    }
+                }
+            }
+        }
+        if chaos && arrived.len() < shards_n {
+            for sid in 0..shards_n {
+                if plane.shard_fault(epoch_no, sid) == ShardFault::Crash {
+                    let (s, eout, _) = rebuild_shard(
+                        plane,
+                        sid,
+                        shards_n,
+                        out,
+                        &rt,
+                        cfg.rotate_floor,
+                        Some(epoch_no),
+                    )?;
+                    let Some(eout) = eout else {
+                        return Err(ServeError::Chaos(ChaosError {
+                            epoch: epoch_no,
+                            shard: Some(sid),
+                            fault_kind: FaultKind::Journal,
+                        }));
+                    };
+                    let dig = want_dig.then(|| s.digest());
+                    arrived.push((sid, s, eout, 0.0, dig));
+                }
+            }
+        }
         let mut epoch_dets: Vec<TaggedDetection> = Vec::new();
         let mut epoch_fb: Vec<TaggedFeedback> = Vec::new();
+        let mut epoch_digs: Vec<(usize, u64)> = Vec::new();
         let (mut busy_sum, mut busy_max) = (0.0f64, 0.0f64);
-        for r in results {
-            let (mut s, eout, busy) = r?;
-            let sid = shards.len();
+        // The fold is arrival-order-insensitive by construction: totals
+        // are commutative integer adds, detections and feedback are
+        // sorted below, and everything keyed (busy time, sharded
+        // metrics, the shard-0 feedback rule) uses the shard-id tag.
+        let mut merged: Vec<(usize, ShardState)> = Vec::with_capacity(shards_n);
+        for (sid, mut s, eout, busy, dig) in arrived {
+            if let Some(d) = dig {
+                epoch_digs.push((sid, d));
+            }
             stats.shard_busy_s[sid] += busy;
             busy_sum += busy;
             busy_max = busy_max.max(busy);
-            // Drain this shard's tallies (`map_owned` preserves input
-            // order, so this fold runs in shard-id order every time).
             let sobs = std::mem::take(&mut s.obs);
             totals.checks_run += sobs.checks_run;
             totals.detections += sobs.detections;
@@ -251,10 +390,12 @@ fn serve_inner(
                 reg.max_sharded(sid, "det_queue_hwm", eout.detections.len() as u64);
                 reg.max_sharded(sid, "fb_queue_hwm", eout.feedback.len() as u64);
             }
-            shards.push(s);
+            merged.push((sid, s));
             epoch_dets.extend(eout.detections.into_items());
             epoch_fb.extend(eout.feedback.into_items());
         }
+        merged.sort_by_key(|(sid, _)| *sid);
+        shards.extend(merged.into_iter().map(|(_, s)| s));
         // Coordinator work is everything in the epoch that is not shard
         // busy time; the critical path pays it plus the slowest shard.
         let epoch_wall = clock() - t_epoch;
@@ -273,8 +414,22 @@ fn serve_inner(
         epoch_fb.sort_by_key(|f| (f.seq, f.intra));
         carry_feedback = epoch_fb;
         mirror.absorb(eidx);
+        if chaos {
+            epoch_digs.sort_by_key(|&(sid, _)| sid);
+            let digests: Option<Vec<u64>> =
+                want_dig.then(|| epoch_digs.iter().map(|&(_, d)| d).collect());
+            plane
+                .epoch_commit(epoch_no, digests.as_deref())
+                .map_err(ServeError::Chaos)?;
+        }
     }
 
+    if chaos {
+        let final_digests: Vec<u64> = shards.iter().map(|s| s.digest()).collect();
+        plane
+            .run_end(epochs, &final_digests)
+            .map_err(ServeError::Chaos)?;
+    }
     let report = assemble(out, &rt, &shards, &tagged);
     stats.wall_s = clock() - t_start;
     // Stream buffering and final assembly are sequential coordinator
@@ -286,6 +441,145 @@ fn serve_inner(
         reg.add(id, epochs);
     }
     Ok((report, stats))
+}
+
+/// Reorder `items` according to `ord` (a permutation of `0..len`).
+/// Malformed orders degrade gracefully: out-of-range or repeated indices
+/// are skipped and unpicked items keep their relative order at the end,
+/// so a buggy plane can at worst deliver the identity ordering late,
+/// never lose a shard result.
+fn permute<T>(items: Vec<T>, ord: &[usize]) -> Vec<T> {
+    if ord.len() != items.len() {
+        return items;
+    }
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut picked = Vec::with_capacity(slots.len());
+    for &i in ord {
+        if let Some(slot) = slots.get_mut(i) {
+            if let Some(v) = slot.take() {
+                picked.push(v);
+            }
+        }
+    }
+    for slot in &mut slots {
+        if let Some(v) = slot.take() {
+            picked.push(v);
+        }
+    }
+    picked
+}
+
+/// Rebuild shard `sid` from the plane's write-ahead journal: a fresh
+/// [`ShardState`] and a fresh recovery mirror replay journaled epochs in
+/// order, which reconstructs byte-identical `realtime::state` because
+/// `run_epoch` is a pure function of (state, epoch inputs) and the
+/// journal captured exactly those inputs.
+///
+/// With `crash_epoch = Some(k)`: epochs `0..k` are replayed with their
+/// re-staged outputs discarded (the original barriers already merged
+/// them) and their post-epoch digests verified against the journal's
+/// commits; epoch `k` is then re-run for real and its output returned as
+/// the crashed shard's contribution. With `None`, the whole journal is
+/// replayed (the journal round-trip check).
+///
+/// Every failure is typed: a missing record is
+/// [`FaultKind::Journal`], a digest mismatch or replay overflow is
+/// [`FaultKind::ReplayDivergence`].
+fn rebuild_shard<P: FaultPlane>(
+    plane: &mut P,
+    sid: usize,
+    shards_n: usize,
+    out: &SimOutput,
+    rt: &RealtimeConfig,
+    rotate_floor: usize,
+    crash_epoch: Option<u64>,
+) -> Result<(ShardState, Option<EpochOutput>, u64), ServeError> {
+    let n = out.accounts.len();
+    let mut s = ShardState::new(sid, shards_n, n, rt);
+    let mut rmirror = GraphMirror::new(n, rotate_floor);
+    let mut replayed = 0u64;
+    let mut e = 0u64;
+    loop {
+        let Some(rec) = plane.replay_epoch(e).map_err(ServeError::Chaos)? else {
+            if let Some(k) = crash_epoch {
+                // Write-ahead contract broken: the crashed epoch's begin
+                // record must exist before the epoch ran.
+                return Err(ServeError::Chaos(ChaosError {
+                    epoch: k,
+                    shard: Some(sid),
+                    fault_kind: FaultKind::Journal,
+                }));
+            }
+            break;
+        };
+        let eidx = rmirror.index_epoch(&rec.events, &rec.details);
+        let eout = s
+            .run_epoch(
+                &rec.events,
+                &rec.details,
+                out,
+                &rec.feedback,
+                &rmirror,
+                &eidx,
+                e,
+                None,
+            )
+            .map_err(|_| {
+                // The original epoch ran inside its invariant bounds; a
+                // replay that overflows them has diverged.
+                ServeError::Chaos(ChaosError {
+                    epoch: e,
+                    shard: Some(sid),
+                    fault_kind: FaultKind::ReplayDivergence,
+                })
+            })?;
+        replayed += 1;
+        if crash_epoch == Some(e) {
+            // The in-flight epoch: keep the re-run output and tallies as
+            // the crashed shard's contribution to the current barrier.
+            return Ok((s, Some(eout), replayed));
+        }
+        // A completed epoch: its effects were already merged at the
+        // original barrier — discard the re-staged copies, then verify
+        // the reconstructed state against the committed digest.
+        drop(eout);
+        s.obs = ShardObs::default();
+        rmirror.absorb(eidx);
+        if let Some(want) = plane.committed_digest(e, sid) {
+            if s.digest() != want {
+                return Err(ServeError::Chaos(ChaosError {
+                    epoch: e,
+                    shard: Some(sid),
+                    fault_kind: FaultKind::ReplayDivergence,
+                }));
+            }
+        }
+        e += 1;
+    }
+    Ok((s, None, replayed))
+}
+
+/// Replay shard `sid`'s entire history out of `plane`'s journal and
+/// return the digest of the reconstructed `realtime::state` — the
+/// journal round-trip check. Comparing the result against the digest the
+/// live run committed at its final barrier proves the on-disk journal
+/// alone reaches byte-identical state. Shard resolution follows
+/// [`serve`]: `cfg.shards == 0` means the ambient thread count.
+pub fn replay_shard<P: FaultPlane>(
+    plane: &mut P,
+    sid: usize,
+    out: &SimOutput,
+    cfg: &ServeConfig,
+) -> Result<u64, ServeError> {
+    let rt = cfg.detect.sanitized();
+    let shards_n = if cfg.shards == 0 {
+        par::num_threads()
+    } else {
+        cfg.shards
+    }
+    .max(1);
+    let (s, _, _) = rebuild_shard(plane, sid, shards_n, out, &rt, cfg.rotate_floor, None)?;
+    Ok(s.digest())
 }
 
 /// Fold merged detections and final shard states into the report, in the

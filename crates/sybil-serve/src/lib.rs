@@ -26,8 +26,13 @@
 #![deny(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 mod mirror;
 pub mod queue;
 mod shard;
 
-pub use engine::{serve, serve_observed, serve_timed, ServeConfig, ServeError, ServeStats};
+pub use engine::{
+    replay_shard, serve, serve_observed, serve_timed, serve_with_plane, serve_with_plane_observed,
+    serve_with_plane_timed, ServeConfig, ServeError, ServeStats,
+};
+pub use fault::{ChaosError, FaultKind, FaultPlane, NoFaults};

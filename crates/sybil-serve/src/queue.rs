@@ -17,16 +17,62 @@
 //! deadlock). Workspace lint rule S106 keeps unbounded channel
 //! constructors out of every other module.
 
+/// The exact stream position at which a queue overflowed: which epoch,
+/// which shard, and the global event `seq` whose staged effect did not
+/// fit. Chaos attribution matches injected overflow faults against this
+/// site, so a fault-induced overflow is never confused with a genuine
+/// engine-invariant break elsewhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverflowSite {
+    /// Epoch number (0-based barrier count) of the failing push.
+    pub epoch: u64,
+    /// Shard whose staging queue overflowed.
+    pub shard: usize,
+    /// Global stream `seq` of the event that produced the effect.
+    pub seq: u64,
+}
+
 /// Error returned when a push would exceed the queue's fixed capacity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct QueueFull {
     /// The capacity that would have been exceeded.
     pub capacity: usize,
+    /// Where the overflow happened. The queue itself knows only its
+    /// capacity; the producing shard stamps the site on the way out (it
+    /// alone knows the epoch/shard/seq coordinates), so `None` survives
+    /// only in code that pushes outside an epoch scan (tests, mostly).
+    pub site: Option<OverflowSite>,
+}
+
+impl QueueFull {
+    /// Bare overflow error, site unknown.
+    pub fn at_capacity(capacity: usize) -> Self {
+        QueueFull {
+            capacity,
+            site: None,
+        }
+    }
+
+    /// The same error stamped with the offending `(epoch, shard, seq)`.
+    #[inline]
+    pub fn at(self, epoch: u64, shard: usize, seq: u64) -> Self {
+        QueueFull {
+            capacity: self.capacity,
+            site: Some(OverflowSite { epoch, shard, seq }),
+        }
+    }
 }
 
 impl std::fmt::Display for QueueFull {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "delta queue overflow (capacity {})", self.capacity)
+        match self.site {
+            Some(s) => write!(
+                f,
+                "delta queue overflow (capacity {}) at epoch {}, shard {}, seq {}",
+                self.capacity, s.epoch, s.shard, s.seq
+            ),
+            None => write!(f, "delta queue overflow (capacity {})", self.capacity),
+        }
     }
 }
 
@@ -53,9 +99,7 @@ impl<T> DeltaQueue<T> {
     /// Append an item, failing when the queue is at capacity.
     pub fn push(&mut self, item: T) -> Result<(), QueueFull> {
         if self.items.len() >= self.capacity {
-            return Err(QueueFull {
-                capacity: self.capacity,
-            });
+            return Err(QueueFull::at_capacity(self.capacity));
         }
         self.items.push(item);
         Ok(())
@@ -93,7 +137,7 @@ mod tests {
         assert!(q.is_empty());
         q.push(10).unwrap();
         q.push(20).unwrap();
-        assert_eq!(q.push(30), Err(QueueFull { capacity: 2 }));
+        assert_eq!(q.push(30), Err(QueueFull::at_capacity(2)));
         assert_eq!(q.len(), 2);
         assert_eq!(q.into_items(), vec![10, 20]);
     }
@@ -101,6 +145,32 @@ mod tests {
     #[test]
     fn zero_capacity_rejects_everything() {
         let mut q = DeltaQueue::with_capacity(0);
-        assert_eq!(q.push(1u8), Err(QueueFull { capacity: 0 }));
+        assert_eq!(q.push(1u8), Err(QueueFull::at_capacity(0)));
+    }
+
+    /// The enriched error path: a bare overflow carries no site; the
+    /// producer's `.at(...)` stamp attaches the exact `(epoch, shard,
+    /// seq)` and both spellings render distinctly.
+    #[test]
+    fn overflow_site_enrichment_round_trips() {
+        let mut q = DeltaQueue::with_capacity(1);
+        q.push(1u8).unwrap();
+        let bare = q.push(2u8).unwrap_err();
+        assert_eq!(bare.site, None);
+        assert_eq!(bare.to_string(), "delta queue overflow (capacity 1)");
+        let stamped = bare.at(7, 3, 4242);
+        assert_eq!(stamped.capacity, 1);
+        assert_eq!(
+            stamped.site,
+            Some(OverflowSite {
+                epoch: 7,
+                shard: 3,
+                seq: 4242
+            })
+        );
+        assert_eq!(
+            stamped.to_string(),
+            "delta queue overflow (capacity 1) at epoch 7, shard 3, seq 4242"
+        );
     }
 }

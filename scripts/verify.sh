@@ -200,4 +200,29 @@ print(f"obs guard: overhead {r['overhead_pct']:.2f}% (<5% required), "
 sys.exit(0 if ok else 1)
 PY
 
+echo "== chaos: fault-injection invariant proptests (release) =="
+# The headline invariant — any fault schedule yields output
+# byte-identical to the fault-free run OR a typed ChaosError, never
+# silent divergence — plus the journal round-trip at 1/2/8 shards.
+cargo test -q --release -p sybil-chaos --test chaos_props
+
+echo "== chaos: crash-recovery smoke + journal overhead gate =="
+# Seeded mid-stream shard crash must recover from the write-ahead
+# journal byte-identical to the fault-free replay, and journaling every
+# epoch must cost <5% of the fault-free critical path.
+(cd "$bench_tmp" && cargo run -q --release -p sybil-bench --bin chaos_bench \
+    --manifest-path "$root/Cargo.toml" >/dev/null)
+python3 - "$bench_tmp/BENCH_chaos.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+ok = (r["report_identical"] and r["crash_recovered_identical"]
+      and r["journal_overhead_pct"] < 5.0)
+print(f"chaos guard: journal overhead {r['journal_overhead_pct']:.2f}% "
+      f"(<5% required), journaled≡plain={r['report_identical']}, "
+      f"crash@epoch{r['crash_epoch']}/shard{r['crash_shard']} replayed "
+      f"{r['crash_epochs_replayed']} epochs, "
+      f"recovered_identical={r['crash_recovered_identical']}")
+sys.exit(0 if ok else 1)
+PY
+
 echo "verify: OK"
