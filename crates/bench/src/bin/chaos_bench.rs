@@ -1,8 +1,8 @@
 //! Chaos-engine acceptance bench: write-ahead journal overhead on the
 //! serving critical path, plus the crash-recovery smoke.
 //!
-//! Replays the same adaptive stream through `serve_timed` (production
-//! path, `NoFaults` plane) and `serve_with_plane_timed` with a
+//! Replays the same adaptive stream through a clocked `ServeSession`
+//! (production path, `NoFaults` plane) and the same session with a
 //! journal-only [`ChaosPlane`] at the default digest cadence (every
 //! epoch write-ahead journaled, per-shard digests every
 //! [`DEFAULT_DIGEST_CADENCE`](sybil_chaos::DEFAULT_DIGEST_CADENCE)th
@@ -32,7 +32,7 @@ use sybil_chaos::{
 };
 use sybil_core::realtime::RealtimeConfig;
 use sybil_core::ThresholdClassifier;
-use sybil_serve::{serve_timed, serve_with_plane_timed, ServeConfig};
+use sybil_serve::{ServeConfig, ServeSession};
 
 const REPS: usize = 9;
 /// Epoch the smoke's shard crash lands in (mid-stream for the small
@@ -84,19 +84,25 @@ fn main() {
     for rep in 0..REPS {
         let mut off_s = 0.0;
         let run_off = |off_s: &mut f64| {
-            let (r, stats) = serve_timed(&out, &cfg, &clock).expect("serve failed");
-            *off_s = stats.critical_path_s;
-            r
+            let o = ServeSession::new(cfg)
+                .clock(&clock)
+                .run(&out)
+                .expect("serve failed");
+            *off_s = o.stats.critical_path_s;
+            o.report
         };
         let mut on_s = 0.0;
         let run_on = |on_s: &mut f64| {
             let journal =
                 Journal::create(Cursor::new(Vec::new())).expect("in-memory journal");
             let mut plane = ChaosPlane::new(FaultSchedule::journal_only(42), journal);
-            let (r, stats) =
-                serve_with_plane_timed(&out, &cfg, &clock, &mut plane).expect("serve failed");
-            *on_s = stats.critical_path_s;
-            (r, plane.into_journal().len_bytes())
+            let o = ServeSession::new(cfg)
+                .clock(&clock)
+                .plane(&mut plane)
+                .run(&out)
+                .expect("serve failed");
+            *on_s = o.stats.critical_path_s;
+            (o.report, plane.into_journal().len_bytes())
         };
         let mut strict_s = 0.0;
         // Strict cadence: per-shard digests at every barrier — the
@@ -106,9 +112,12 @@ fn main() {
                 Journal::create(Cursor::new(Vec::new())).expect("in-memory journal");
             let mut strict =
                 ChaosPlane::with_digest_cadence(FaultSchedule::journal_only(42), journal, 1);
-            let (_, stats) =
-                serve_with_plane_timed(&out, &cfg, &clock, &mut strict).expect("serve failed");
-            *strict_s = stats.critical_path_s;
+            let o = ServeSession::new(cfg)
+                .clock(&clock)
+                .plane(&mut strict)
+                .run(&out)
+                .expect("serve failed");
+            *strict_s = o.stats.critical_path_s;
         };
         let pair = match rep % 3 {
             0 => {

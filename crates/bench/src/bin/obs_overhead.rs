@@ -1,9 +1,10 @@
 //! Overhead guard for the sybil-obs instrumentation on the serving
 //! engine's critical path.
 //!
-//! Replays the same adaptive stream through `serve_timed` (no metrics)
-//! and `serve_observed` (full metric registry + per-shard counters +
-//! epoch spans), interleaved best-of-`REPS`, and compares the engine's
+//! Replays the same adaptive stream through a clocked `ServeSession`
+//! without metrics and with them (full metric registry + per-shard
+//! counters + epoch spans), interleaved best-of-`REPS`, and compares the
+//! engine's
 //! parallel critical path. The acceptance gate: observability must cost
 //! under 5% — counters are plain integer adds on already-owned state, so
 //! anything above that signals an accidental allocation or lock on the
@@ -16,7 +17,7 @@ use osn_sim::{simulate, SimConfig};
 use std::time::Instant;
 use sybil_core::realtime::RealtimeConfig;
 use sybil_core::ThresholdClassifier;
-use sybil_serve::{serve_observed, serve_timed, ServeConfig};
+use sybil_serve::{ServeConfig, ServeSession};
 
 const REPS: usize = 5;
 
@@ -56,12 +57,19 @@ fn main() {
     let mut on_best = f64::INFINITY;
     let mut reports = Vec::new();
     for _ in 0..REPS {
-        let (r_off, stats_off) = serve_timed(&out, &cfg, &clock).expect("serve failed");
-        off_best = off_best.min(stats_off.critical_path_s);
+        let off = ServeSession::new(cfg)
+            .clock(&clock)
+            .run(&out)
+            .expect("serve failed");
+        off_best = off_best.min(off.stats.critical_path_s);
         let mut reg = sybil_obs::Registry::new();
-        let (r_on, stats_on) = serve_observed(&out, &cfg, &clock, &mut reg).expect("serve failed");
-        on_best = on_best.min(stats_on.critical_path_s);
-        reports.push((r_off, r_on, reg.snapshot()));
+        let on = ServeSession::new(cfg)
+            .clock(&clock)
+            .metrics(&mut reg)
+            .run(&out)
+            .expect("serve failed");
+        on_best = on_best.min(on.stats.critical_path_s);
+        reports.push((off.report, on.report, reg.snapshot()));
     }
     let (r_off, r_on, snapshot) = reports.pop().expect("REPS >= 1");
     let identical = serde_json::to_string(&r_off).expect("report serializes")

@@ -24,7 +24,7 @@ use osn_sim::stream::PullStream;
 use std::time::Instant;
 use sybil_core::realtime::{replay, RealtimeConfig};
 use sybil_core::ThresholdClassifier;
-use sybil_serve::{serve_timed, ServeConfig, ServeStats};
+use sybil_serve::{ServeConfig, ServeSession, ServeStats};
 
 /// Peak resident set size of this process so far, in bytes (Linux VmHWM).
 fn peak_rss_bytes() -> u64 {
@@ -110,7 +110,11 @@ fn main() {
             let mut best: Option<ServeStats> = None;
             let mut report = None;
             for _ in 0..reps {
-                let (r, stats) = serve_timed(&out, &cfg, &clock).expect("serve failed");
+                let o = ServeSession::new(cfg)
+                    .clock(&clock)
+                    .run(&out)
+                    .expect("serve failed");
+                let (r, stats) = (o.report, o.stats);
                 if best
                     .as_ref()
                     .is_none_or(|b| stats.critical_path_s < b.critical_path_s)

@@ -1,7 +1,8 @@
 //! Throughput + bit-identity check for the sharded serving engine.
 //!
-//! Replays a ≥200k-event request stream through `sybil_serve::serve` at
-//! 1, 2, 4 and 8 shards and through the sequential
+//! Replays a ≥200k-event request stream through a
+//! `sybil_serve::ServeSession` at 1, 2, 4 and 8 shards and through the
+//! sequential
 //! `sybil_core::realtime::replay`, verifies every report serializes
 //! byte-identically, and writes `BENCH_serve.json` at the workspace root.
 //!
@@ -21,7 +22,7 @@ use osn_sim::{simulate, SimConfig, SimOutput};
 use std::time::Instant;
 use sybil_core::realtime::{replay, RealtimeConfig};
 use sybil_core::ThresholdClassifier;
-use sybil_serve::{serve_timed, ServeConfig, ServeStats};
+use sybil_serve::{ServeConfig, ServeSession, ServeStats};
 
 /// Best-of-`reps` wall-clock milliseconds for `f`, returning the last
 /// result for identity checks.
@@ -91,7 +92,11 @@ fn main() {
         let mut best_path: Option<ServeStats> = None;
         let mut report = None;
         for _ in 0..reps {
-            let (r, stats) = serve_timed(&out, &cfg, &clock).expect("serve failed");
+            let o = ServeSession::new(cfg)
+                .clock(&clock)
+                .run(&out)
+                .expect("serve failed");
+            let (r, stats) = (o.report, o.stats);
             if best_path
                 .as_ref()
                 .is_none_or(|b| stats.critical_path_s < b.critical_path_s)

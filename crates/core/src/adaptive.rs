@@ -77,6 +77,34 @@ impl QuantileTracker {
         d.write_f64(self.scale);
         d.write_u64(self.seen);
     }
+
+    /// The tracker's full state as five words — the four floats as IEEE-754
+    /// bit patterns plus the observation count, in
+    /// [`digest_into`](Self::digest_into) order. The representation a
+    /// checkpoint persists: bit patterns round-trip exactly where a decimal
+    /// rendering would not.
+    pub fn to_raw(&self) -> [u64; 5] {
+        [
+            self.q.to_bits(),
+            self.step.to_bits(),
+            self.estimate.to_bits(),
+            self.scale.to_bits(),
+            self.seen,
+        ]
+    }
+
+    /// Rebuild a tracker from [`to_raw`](Self::to_raw) words. Trusted
+    /// input: callers (the checkpoint loader) guard corruption with a
+    /// digest over the containing frame, so no `q` range check here.
+    pub fn from_raw(raw: [u64; 5]) -> Self {
+        QuantileTracker {
+            q: f64::from_bits(raw[0]),
+            step: f64::from_bits(raw[1]),
+            estimate: f64::from_bits(raw[2]),
+            scale: f64::from_bits(raw[3]),
+            seen: raw[4],
+        }
+    }
 }
 
 /// Adaptive version of the three-feature threshold rule.
@@ -147,6 +175,46 @@ impl AdaptiveThresholds {
             t.digest_into(d);
         }
         d.write_bool(self.use_cc);
+    }
+
+    /// The full adaptive state as 31 words: the six trackers' raw words
+    /// in declaration order followed by the `use_cc` flag — the same
+    /// field order [`digest_into`](Self::digest_into) folds.
+    pub fn to_raw(&self) -> [u64; 31] {
+        let mut out = [0u64; 31];
+        let trackers = [
+            &self.freq_sybil,
+            &self.freq_normal,
+            &self.ratio_sybil,
+            &self.ratio_normal,
+            &self.cc_sybil,
+            &self.cc_normal,
+        ];
+        let (words, flag) = out.split_at_mut(30);
+        for (chunk, t) in words.chunks_exact_mut(5).zip(trackers) {
+            chunk.copy_from_slice(&t.to_raw());
+        }
+        flag.copy_from_slice(&[u64::from(self.use_cc)]);
+        out
+    }
+
+    /// Rebuild adaptive state from [`to_raw`](Self::to_raw) words.
+    pub fn from_raw(raw: [u64; 31]) -> Self {
+        let (body, flag) = raw.split_at(30);
+        let mut words = [[0u64; 5]; 6];
+        for (dst, src) in words.iter_mut().flat_map(|w| w.iter_mut()).zip(body) {
+            *dst = *src;
+        }
+        let [freq_s, freq_n, ratio_s, ratio_n, cc_s, cc_n] = words;
+        AdaptiveThresholds {
+            freq_sybil: QuantileTracker::from_raw(freq_s),
+            freq_normal: QuantileTracker::from_raw(freq_n),
+            ratio_sybil: QuantileTracker::from_raw(ratio_s),
+            ratio_normal: QuantileTracker::from_raw(ratio_n),
+            cc_sybil: QuantileTracker::from_raw(cc_s),
+            cc_normal: QuantileTracker::from_raw(cc_n),
+            use_cc: flag.iter().copied().any(|w| w != 0),
+        }
     }
 
     /// The current live rule.
@@ -242,6 +310,35 @@ mod tests {
         );
         assert!(ad.is_sybil(&fv(12.0, 0.2, 0.0)), "slowed sybil still caught");
         assert!(!ad.is_sybil(&fv(2.0, 0.8, 0.0)));
+    }
+
+    #[test]
+    fn raw_round_trip_is_digest_identical() {
+        let base = ThresholdClassifier {
+            min_freq: 20.0,
+            max_out_ratio: 0.5,
+            max_cc: 0.1,
+        };
+        let mut ad = AdaptiveThresholds::from_rule(&base, 0.05);
+        for i in 0..100 {
+            ad.feedback(&fv(30.0 + i as f64, 0.2, 0.01), i % 2 == 0);
+        }
+        let back = AdaptiveThresholds::from_raw(ad.to_raw());
+        let digest = |a: &AdaptiveThresholds| {
+            let mut d = crate::digest::Digest64::new();
+            a.digest_into(&mut d);
+            d.finish()
+        };
+        assert_eq!(digest(&ad), digest(&back));
+
+        let t = QuantileTracker::new(0.9, 0.05, -3.5);
+        let tb = QuantileTracker::from_raw(t.to_raw());
+        let tdigest = |t: &QuantileTracker| {
+            let mut d = crate::digest::Digest64::new();
+            t.digest_into(&mut d);
+            d.finish()
+        };
+        assert_eq!(tdigest(&t), tdigest(&tb));
     }
 
     #[test]

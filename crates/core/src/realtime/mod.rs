@@ -194,7 +194,7 @@ pub fn replay_observed(
 /// `sybil-serve` engine so both report the same metric keys — and the
 /// summed shard tallies must equal the sequential replay's (the
 /// determinism contract extends to logical metrics).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ReplayCounters {
     /// Stream events consumed (sends + decisions).
     pub events_processed: u64,

@@ -18,7 +18,7 @@ use sybil_features::FeatureVector;
 pub const MAX_TRACKED_FRIENDS: usize = 50;
 
 /// Running per-account state derived from the event stream so far.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AccountState {
     /// Requests sent (frozen once the account is detected).
     pub sent: u32,

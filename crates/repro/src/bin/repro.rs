@@ -14,7 +14,7 @@
 
 use sybil_obs::Snapshot;
 use sybil_repro::{chaos, defenses, deployment, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9};
-use sybil_repro::{help, mixing, parse_args, reach, serve, table1, table2, table3, zoo};
+use sybil_repro::{help, mixing, parse_args, reach, restart, serve, table1, table2, table3, zoo};
 use sybil_repro::{Ctx, RunSpec};
 use sybil_stats::export;
 
@@ -169,6 +169,10 @@ fn main() {
                     Err(e) => eprintln!("chaos drill failed: {e}"),
                 }
             }
+            "restart" => match restart::run(&ctx, &spec) {
+                Ok(r) => save("restart", &r, &r.render()),
+                Err(e) => eprintln!("restart drill failed: {e}"),
+            },
             "reach" => {
                 let r = reach::run(&ctx, spec.reach_trials());
                 save("reach", &r, &r.render());

@@ -13,7 +13,7 @@ use crate::serve::fmt_catch_rate;
 use serde::{Deserialize, Serialize};
 use sybil_core::realtime::{replay, DeploymentReport, RealtimeConfig};
 use sybil_core::ThresholdClassifier;
-use sybil_serve::{serve, ServeConfig};
+use sybil_serve::{ServeConfig, ServeSession};
 use sybil_stats::table::Table;
 
 /// Result of the deployment experiment.
@@ -50,7 +50,10 @@ pub fn run(ctx: &Ctx, spec: &RunSpec) -> Deployment {
         if spec.shards != 0 {
             cfg.shards = spec.shards;
         }
-        serve(&ctx.out, &cfg).unwrap_or_else(|_| replay(&ctx.out, &detect))
+        ServeSession::new(cfg)
+            .run(&ctx.out)
+            .map(|o| o.report)
+            .unwrap_or_else(|_| replay(&ctx.out, &detect))
     };
     let static_report = run_variant(false);
     let adaptive_report = run_variant(true);

@@ -24,6 +24,7 @@
 //! | mixing-time analysis | extension of §3.1 | [`mixing`] |
 //! | deployment replay | §2.3 production story | [`deployment`] |
 //! | sharded serving replay | §2.3 at serving scale | [`serve`] |
+//! | kill + warm-restart drill | §2.3 persistence story | [`restart`] |
 //! | spam-reach cascades | §2.1 motivation | [`reach`] |
 //!
 //! Run everything with the `repro` binary:
@@ -44,6 +45,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod restart;
 pub mod runspec;
 pub mod scenario;
 pub mod serve;

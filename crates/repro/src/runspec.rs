@@ -18,9 +18,9 @@ use crate::scenario::Scale;
 use std::path::PathBuf;
 
 /// Every experiment name the binary accepts, in default execution order.
-pub const ALL_EXPERIMENTS: [&str; 19] = [
+pub const ALL_EXPERIMENTS: [&str; 20] = [
     "fig1", "fig2", "fig3", "fig4", "table1", "fig5", "fig6", "table2", "fig7", "fig8", "fig9",
-    "table3", "zoo", "mixing", "deployment", "serve", "chaos", "reach", "defenses",
+    "table3", "zoo", "mixing", "deployment", "serve", "chaos", "restart", "reach", "defenses",
 ];
 
 /// One CLI flag: spelling, value placeholder (`None` for bare flags),
@@ -32,7 +32,7 @@ struct Flag {
     help: &'static str,
 }
 
-const FLAGS: [Flag; 8] = [
+const FLAGS: [Flag; 9] = [
     Flag {
         name: "--scale",
         value: Some("tiny|small|paper|xl"),
@@ -69,6 +69,11 @@ const FLAGS: [Flag; 8] = [
         help: "write a deterministic metrics.json under DIR",
     },
     Flag {
+        name: "--store",
+        value: Some("DIR"),
+        help: "persist serving state under DIR (versioned checkpoints + epoch journal; reruns warm-restart from it)",
+    },
+    Flag {
         name: "--help",
         value: None,
         help: "print this help",
@@ -99,6 +104,11 @@ pub struct RunSpec {
     /// Fault-schedule file for the `chaos` experiment; `None` derives a
     /// schedule from the seed.
     pub faults_file: Option<PathBuf>,
+    /// When set, the `serve` experiment persists its state under this
+    /// directory (checkpoints + journal) and warm-restarts from whatever
+    /// a previous run left there; the `restart` drill stores under it
+    /// too (in its own subdirectory, which it clears).
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for RunSpec {
@@ -112,6 +122,7 @@ impl Default for RunSpec {
             threads: None,
             metrics_dir: None,
             faults_file: None,
+            store_dir: None,
         }
     }
 }
@@ -215,6 +226,12 @@ impl RunSpecBuilder {
     /// Load the chaos fault schedule from `file`.
     pub fn faults_file(mut self, file: impl Into<PathBuf>) -> Self {
         self.spec.faults_file = Some(file.into());
+        self
+    }
+
+    /// Persist serving state under `dir`.
+    pub fn store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spec.store_dir = Some(dir.into());
         self
     }
 
@@ -359,6 +376,10 @@ where
                 let v = args.next().ok_or(CliError::MissingValue("--faults"))?;
                 spec.faults_file = Some(PathBuf::from(v));
             }
+            "--store" => {
+                let v = args.next().ok_or(CliError::MissingValue("--store"))?;
+                spec.store_dir = Some(PathBuf::from(v));
+            }
             other if other.starts_with('-') => {
                 return Err(CliError::UnknownFlag(other.to_string()));
             }
@@ -426,7 +447,8 @@ mod tests {
     fn every_flag_round_trips() {
         let spec = parse(&[
             "--scale", "tiny", "--seed", "7", "--out", "tmp/x", "--shards", "4", "--threads",
-            "8", "--metrics", "tmp/m", "--faults", "tmp/f.json", "serve", "deployment",
+            "8", "--metrics", "tmp/m", "--faults", "tmp/f.json", "--store", "tmp/s", "serve",
+            "deployment",
         ])
         .unwrap();
         assert_eq!(
@@ -439,6 +461,7 @@ mod tests {
                 .threads(8)
                 .metrics_dir("tmp/m")
                 .faults_file("tmp/f.json")
+                .store_dir("tmp/s")
                 .experiments(["serve", "deployment"])
                 .unwrap()
                 .build()

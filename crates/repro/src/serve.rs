@@ -15,8 +15,9 @@ use serde::{Deserialize, Serialize};
 use sybil_core::realtime::{replay, replay_observed, DeploymentReport, RealtimeConfig};
 use sybil_core::ThresholdClassifier;
 use sybil_obs::{Registry, Snapshot};
-use sybil_serve::{serve, serve_observed, ServeConfig};
+use sybil_serve::{ServeConfig, ServeError, ServeOutcome, ServeSession};
 use sybil_stats::table::Table;
+use sybil_store::StorePlane;
 
 /// Result of the sharded serving experiment.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -36,6 +37,10 @@ pub struct ServeRun {
     pub matches_replay_static: bool,
     /// Same check for the adaptive variant.
     pub matches_replay_adaptive: bool,
+    /// Whether both variants ran with a persistence plane attached
+    /// (`--store DIR`): checkpoints + journal under `DIR/{variant}`,
+    /// warm-restarting from whatever a previous invocation left there.
+    pub persisted: bool,
 }
 
 /// Run the experiment. The sharded engine is the product; the sequential
@@ -56,6 +61,24 @@ pub fn run_observed(ctx: &Ctx, spec: &RunSpec, clock: sybil_obs::Clock<'_>) -> (
     (run, snap.unwrap_or_default())
 }
 
+/// Run one engine pass with whatever optional capabilities the caller
+/// holds. The plane changes the session's type parameter, so the
+/// combinations are enumerated here once instead of at every call site.
+fn run_engine(
+    cfg: ServeConfig,
+    out: &osn_sim::SimOutput,
+    observed: Option<(sybil_obs::Clock<'_>, &mut Registry)>,
+    plane: Option<&mut StorePlane>,
+) -> Result<ServeOutcome, ServeError> {
+    let s = ServeSession::new(cfg);
+    match (observed, plane) {
+        (Some((c, r)), Some(p)) => s.clock(c).metrics(r).store(p).run(out),
+        (Some((c, r)), None) => s.clock(c).metrics(r).run(out),
+        (None, Some(p)) => s.store(p).run(out),
+        (None, None) => s.run(out),
+    }
+}
+
 fn run_inner(
     ctx: &Ctx,
     spec: &RunSpec,
@@ -71,6 +94,7 @@ fn run_inner(
     };
     let mut reports = Vec::new();
     let mut matches = Vec::new();
+    let mut persisted = spec.store_dir.is_some();
     let mut master = observe.map(|_| Snapshot::default());
     for adaptive in [false, true] {
         let variant = if adaptive { "adaptive" } else { "static" };
@@ -85,11 +109,26 @@ fn run_inner(
             detect,
             rotate_floor: 0,
         };
+        // With `--store DIR`, each variant persists under its own
+        // subdirectory; a rerun over the same directory warm-restarts
+        // (and, over a finished journal, replays without recomputing).
+        let mut plane = match &spec.store_dir {
+            Some(dir) => match StorePlane::open(dir.join(variant)) {
+                Ok(p) => Some(p),
+                Err(_) => {
+                    persisted = false;
+                    None
+                }
+            },
+            None => None,
+        };
         let (report, sequential) = match observe {
             Some(clock) => {
                 let mut sreg = Registry::new();
-                let report = match serve_observed(&ctx.out, &cfg, clock, &mut sreg) {
-                    Ok((r, _)) => r,
+                let served =
+                    run_engine(cfg, &ctx.out, Some((clock, &mut sreg)), plane.as_mut());
+                let report = match served {
+                    Ok(o) => o.report,
                     // Serving constraints (e.g. zero feedback delay) fall
                     // back to the sequential engine rather than failing.
                     Err(_) => replay(&ctx.out, &detect),
@@ -103,8 +142,8 @@ fn run_inner(
                 (report, sequential)
             }
             None => {
-                let report = match serve(&ctx.out, &cfg) {
-                    Ok(r) => r,
+                let report = match run_engine(cfg, &ctx.out, None, plane.as_mut()) {
+                    Ok(o) => o.report,
                     Err(_) => replay(&ctx.out, &detect),
                 };
                 (report, replay(&ctx.out, &detect))
@@ -126,6 +165,7 @@ fn run_inner(
             adaptive_report,
             matches_replay_static: matches[0],
             matches_replay_adaptive: matches[1],
+            persisted,
         },
         master,
     )
@@ -169,10 +209,11 @@ impl ServeRun {
             ]);
         }
         format!(
-            "Sharded serving replay — {} shards, {}h epochs, byte-compared to the \
+            "Sharded serving replay — {} shards, {}h epochs{}, byte-compared to the \
              sequential engine\n\n{}",
             self.shards,
             self.epoch_hours,
+            if self.persisted { ", persisted" } else { "" },
             t.render()
         )
     }
@@ -218,6 +259,35 @@ mod tests {
                 assert_eq!(serve_v, replay_v, "engines disagree on {variant}.{key}");
             }
         }
+    }
+
+    /// `--store DIR` must be report-transparent: a cold persisted run
+    /// matches the sequential replay, and a second run over the same
+    /// directory (pure warm restart) produces the identical bytes.
+    #[test]
+    fn persisted_run_is_transparent_and_warm_restarts() {
+        let ctx = Ctx::build(Scale::Tiny, 11);
+        let dir = std::env::temp_dir().join(format!(
+            "sybil-repro-serve-store-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = RunSpec::builder()
+            .scale(Scale::Tiny)
+            .shards(2)
+            .store_dir(&dir)
+            .build();
+        let cold = run(&ctx, &spec);
+        assert!(cold.persisted);
+        assert!(cold.matches_replay_static && cold.matches_replay_adaptive);
+        assert!(cold.render().contains("persisted"));
+        let warm = run(&ctx, &spec);
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            serde_json::to_string(&warm).unwrap(),
+            "warm restart over the finished store diverged"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

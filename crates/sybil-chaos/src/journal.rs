@@ -545,6 +545,15 @@ impl<S: Read + Write + Seek> Journal<S> {
         }))
     }
 
+    /// Whether `epoch` has both its begin and commit records — i.e. the
+    /// barrier fully landed before any crash. Warm restart replays
+    /// exactly the committed tail epochs after a checkpoint; an epoch
+    /// with a begin but no commit was in flight when the process died
+    /// and is re-run live from the stream instead.
+    pub fn committed(&self, epoch: u64) -> bool {
+        self.begins.contains_key(&epoch) && self.commits.contains_key(&epoch)
+    }
+
     /// The digest committed for `(epoch, shard)`, when one was journaled.
     pub fn committed_digest(&self, epoch: u64, shard: usize) -> Option<u64> {
         self.commits

@@ -12,9 +12,9 @@
 //!
 //! The contract, enforced by [`run_chaos`] and the headline proptest:
 //! **any** fault schedule yields either a report byte-identical to the
-//! fault-free [`serve`](sybil_serve::serve) or a typed
-//! [`ChaosError`](sybil_serve::fault::ChaosError) naming the epoch,
-//! shard, and fault kind — never silent divergence. The
+//! fault-free run ([`ServeSession`](sybil_serve::ServeSession) with no
+//! plane) or a typed [`ChaosError`](sybil_serve::fault::ChaosError)
+//! naming the epoch, shard, and fault kind — never silent divergence. The
 //! [`RecoveryReport`] a run emits (faults injected, epochs replayed,
 //! recovery latency in logical epochs, journal bytes) is itself a pure
 //! function of `(simulation, config, schedule)`, so `repro chaos --seed
@@ -40,9 +40,7 @@ pub use schedule::{FaultSchedule, FaultSpec, FaultSpecKind};
 use osn_sim::SimOutput;
 use std::io::{Cursor, Read, Seek, Write};
 use sybil_serve::fault::{ChaosError, FaultKind};
-use sybil_serve::{
-    serve, serve_with_plane, serve_with_plane_observed, ServeConfig, ServeError,
-};
+use sybil_serve::{ServeConfig, ServeError, ServeSession};
 
 /// Outputs of one chaos run: the deterministic report plus the journal
 /// (handed back so callers can persist or re-verify it).
@@ -69,7 +67,7 @@ fn journal_chaos_err() -> ServeError {
 /// Run `schedule` against `out` and compare byte-for-byte with the
 /// fault-free run.
 ///
-/// The fault-free oracle runs first (plain [`serve`], no plane, no
+/// The fault-free oracle runs first (a bare session, no plane, no
 /// journal); the chaos run follows with a [`ChaosPlane`] journaling
 /// into `store`. A surfaced [`ServeError::QueueOverflow`] whose
 /// `(epoch, shard)` site matches a scheduled
@@ -85,7 +83,7 @@ pub fn run_chaos<S: Read + Write + Seek>(
     store: S,
     mut obs: Option<&mut sybil_obs::Registry>,
 ) -> Result<ChaosRun<S>, ServeError> {
-    let baseline = serve(out, cfg)?;
+    let baseline = ServeSession::new(*cfg).run(out)?.report;
     // The vendored serde_json never fails on derived Serialize values;
     // degrade to an empty string rather than panic if it ever does.
     let baseline_json = serde_json::to_string(&baseline).unwrap_or_default();
@@ -97,11 +95,13 @@ pub fn run_chaos<S: Read + Write + Seek>(
     // With a registry, the chaos run's shard tallies land under the
     // same keys as `serve_observed` — comparable against fault-free.
     let result = match obs {
-        Some(ref mut reg) => {
-            serve_with_plane_observed(out, cfg, &|| 0.0, reg, &mut plane).map(|(r, _)| r)
-        }
-        None => serve_with_plane(out, cfg, &mut plane),
-    };
+        Some(ref mut reg) => ServeSession::new(*cfg)
+            .metrics(reg)
+            .plane(&mut plane)
+            .run(out),
+        None => ServeSession::new(*cfg).plane(&mut plane).run(out),
+    }
+    .map(|o| o.report);
 
     let (outcome, chaos_json) = match result {
         Ok(report) => {

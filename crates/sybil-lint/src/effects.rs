@@ -21,14 +21,16 @@
 //! iteration order as an explicit argument purely so the property can be
 //! tested (see the order-independence proptest in `tests/eff_rules.rs`).
 //!
-//! On top of the inferred sets sit four rules. S109/S110/S111 are
-//! *reachability* rules anchored by [`EffectConfig`], the `lint.toml`
+//! On top of the inferred sets sit two rule shapes. S109/S110/S111/S118
+//! are *reachability* rules anchored by [`EffectConfig`], the `lint.toml`
 //! `[effects.roots]` / `[effects.sinks]` tables: a designated root or
 //! sink function whose inferred set contains a forbidden effect is a
 //! violation, reported at the leaf intrinsic with the full call chain
-//! from the root — the same shape as S101's panic traces. S112 is a
-//! site rule: `thread::spawn`/`thread::scope` anywhere outside the two
-//! sanctioned scheduler files is flagged directly, no config needed.
+//! from the root — the same shape as S101's panic traces. S112 and S119
+//! are *site* rules, no config needed: `thread::spawn`/`thread::scope`
+//! anywhere outside the two sanctioned scheduler files, and file IO in
+//! the persistence crate anywhere outside its format module, are flagged
+//! directly at the intrinsic.
 
 use crate::callgraph::{CallGraph, Edge};
 use crate::lexer::{lex, TokKind, Token};
@@ -424,6 +426,16 @@ const SPAWN_SANCTIONED: [&str; 2] = [
     "crates/sybil-serve/src/engine.rs",
 ];
 
+/// The persistence crate's library sources: everything here that touches
+/// a file writes *versioned* state, so the bytes must route through the
+/// format module below.
+const VERSIONED_STATE_DIR: &str = "crates/sybil-store/src/";
+
+/// The one module allowed to do file IO on versioned state: it owns the
+/// `SYBS` header, the length-prefixed framing, the trailer digest, and
+/// the version-compatibility policy.
+const FORMAT_MODULE: &str = "crates/sybil-store/src/format.rs";
+
 /// Run S109–S112 over the inferred effects, appending findings to `out`.
 pub(crate) fn check_effects(
     model: &WorkspaceModel,
@@ -566,6 +578,50 @@ pub(crate) fn check_effects(
                     "{} spawns a thread via `{}` at {}:{}, outside the \
                      sanctioned scheduler files",
                     model.fq_name(f),
+                    site.what,
+                    file.rel,
+                    site.line
+                )],
+            });
+        }
+    }
+
+    // S119: file IO on versioned state outside the format module. A site
+    // rule like S112 — no config, no allowlist: bytes the persistence
+    // crate puts on disk anywhere but `format.rs` are unversioned by
+    // construction.
+    for f in 0..model.fns.len() {
+        if !model.is_lib_fn(f) || em.intrinsic[f].0 & io.0 == 0 {
+            continue;
+        }
+        let file = &model.files[model.fns[f].file];
+        if !file.rel.starts_with(VERSIONED_STATE_DIR) || file.rel == FORMAT_MODULE {
+            continue;
+        }
+        for site in &em.sites[f] {
+            if !io.contains(site.effect) {
+                continue;
+            }
+            out.push(Finding {
+                rule: "S119",
+                path: file.rel.clone(),
+                line: site.line,
+                col: site.col,
+                message: format!(
+                    "`{}` ({}) touches versioned state outside \
+                     `sybil-store::format`; the SYBS header, framing, and \
+                     trailer digest live in format.rs — express the \
+                     operation as a `format` helper so those rules apply \
+                     to every byte that reaches disk",
+                    site.what,
+                    site.effect.name()
+                ),
+                snippet: line_text(&file.src, site.line),
+                trace: vec![format!(
+                    "{} {} `{}` at {}:{}, outside the format module that \
+                     owns the on-disk encoding",
+                    model.fq_name(f),
+                    site.effect.verb(),
                     site.what,
                     file.rel,
                     site.line

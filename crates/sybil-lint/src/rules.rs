@@ -42,9 +42,9 @@ pub const ALL_RULES: [&str; 6] = ["D001", "D002", "D003", "D004", "D005", "D006"
 
 /// All semantic (call-graph) rule codes, in order. These run only with
 /// `--workspace`, because they need every file to resolve calls.
-pub const SEM_RULES: [&str; 18] = [
+pub const SEM_RULES: [&str; 19] = [
     "S101", "S102", "S103", "S104", "S105", "S106", "S107", "S108", "S109", "S110", "S111",
-    "S112", "S113", "S114", "S115", "S116", "S117", "S118",
+    "S112", "S113", "S114", "S115", "S116", "S117", "S118", "S119",
 ];
 
 /// Is `code` any rule this tool knows (token or semantic)?
@@ -79,6 +79,7 @@ pub fn rule_summary(code: &str) -> &'static str {
         "S116" => "blocking acquisition (lock / recv / wait) reachable from a hot loop",
         "S117" => "recursion reachable from a hot path (unbounded stack and work)",
         "S118" => "IO effect reachable from a production fault-plane hook (no-op surface)",
+        "S119" => "file IO on versioned state outside sybil-store's format module",
         _ => "unknown rule",
     }
 }
@@ -316,6 +317,23 @@ pub fn rule_explanation(code: &str) -> Option<&'static str> {
                    write-ahead journal) and keeping the default a pure return. There is \
                    deliberately no allowlist story here — a production hook that needs \
                    IO is a design error, not a reviewable exception.",
+        "S119" => "S119 — file IO on versioned state outside the format module\n\nEvery \
+                   byte sybil-store puts on disk is versioned: the SYBS magic + version \
+                   header, the length-prefixed section framing, and the trailing content \
+                   digest all live in `format.rs`, and the compatibility policy (same \
+                   version decodes byte-identically forever; unknown versions are refused, \
+                   never guessed) is enforced by that one module. A filesystem or stdio \
+                   call anywhere else in `crates/sybil-store/src/` writes bytes the \
+                   version policy cannot see — a checkpoint that `latest()` cannot \
+                   fall back across, a journal frame the digest never covered, a format \
+                   fork that silently breaks warm restart on the next release.\n\nS119 is \
+                   a site rule over the same IO intrinsics S110 uses (fs::*, File::open/\
+                   create, stdio, print macros), scoped to the persistence crate's library \
+                   code and exempting exactly `format.rs`. Fix by expressing the operation \
+                   as a `format` helper (encode/decode/write_atomic/scan) so the header, \
+                   framing, and digest rules apply, then calling that from the store \
+                   layer. There is no allowlist story: bytes that bypass the format \
+                   module are unversioned by construction.",
         _ => return None,
     })
 }

@@ -30,7 +30,7 @@ fn explain_unknown_code_exits_two_with_known_list_on_stderr() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown rule \"S999\""), "{stderr}");
     // The known-code list covers both rule families, through the newest.
-    for code in ["D001", "D006", "S101", "S113", "S118"] {
+    for code in ["D001", "D006", "S101", "S113", "S119"] {
         assert!(stderr.contains(code), "missing {code} in: {stderr}");
     }
 }
@@ -46,6 +46,19 @@ fn explain_s118_names_the_fault_plane_contract() {
     assert!(stdout.contains("FaultPlane"), "{stdout}");
     assert!(stdout.contains("fault_plane"), "{stdout}");
     assert!(stdout.contains("no-op"), "{stdout}");
+}
+
+#[test]
+fn explain_s119_names_the_format_module_contract() {
+    let out = lint_cmd()
+        .args(["--explain", "S119"])
+        .output()
+        .expect("spawn sybil-lint");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("format.rs"), "{stdout}");
+    assert!(stdout.contains("SYBS"), "{stdout}");
+    assert!(stdout.contains("unversioned"), "{stdout}");
 }
 
 #[test]

@@ -390,6 +390,71 @@ fn s112_spawn_outside_sanctioned_files() {
 }
 
 // ---------------------------------------------------------------------
+// S119: file IO on versioned state outside sybil-store's format module
+// (no config needed — a site rule scoped to the persistence crate).
+
+/// The S119 fixture masquerades as the real persistence crate: its files
+/// map to `crates/sybil-store/src/…`, the path the rule is anchored to.
+fn store_findings() -> Vec<Finding> {
+    let layout: &[(&str, &str)] = &[
+        ("lib.rs", "src/lib.rs"),
+        ("format.rs", "src/format.rs"),
+        ("store.rs", "src/store.rs"),
+        ("use_api.rs", "tests/use_api.rs"),
+    ];
+    let files: Vec<SourceFile> = layout
+        .iter()
+        .map(|(disk, rel_suffix)| {
+            let rel = format!("crates/sybil-store/{rel_suffix}");
+            SourceFile {
+                abs: fixture_dir().join("eff_store_bad").join(disk),
+                rel: rel.clone(),
+                crate_name: "sybil-store".to_string(),
+                kind: classify(&rel),
+            }
+        })
+        .collect();
+    let sources: Vec<String> = files
+        .iter()
+        .map(|f| std::fs::read_to_string(&f.abs).expect("fixture exists"))
+        .collect();
+    check_workspace_with(
+        &WorkspaceModel::build(&files, &sources),
+        &EffectConfig::default(),
+        &sybil_lint::costs::HotPathConfig::default(),
+    )
+}
+
+#[test]
+fn s119_store_io_outside_the_format_module() {
+    // Both fixture modules call `fs::write`; only the one outside
+    // `format.rs` is a finding.
+    let f = store_findings();
+    assert_eq!(f.len(), 1, "{f:#?}");
+    let v = &f[0];
+    assert_eq!(v.rule, "S119");
+    assert_eq!(v.path, "crates/sybil-store/src/store.rs");
+    assert_eq!(v.line, 5);
+    assert_eq!(
+        v.message,
+        "`fs::write` (IO write) touches versioned state outside \
+         `sybil-store::format`; the SYBS header, framing, and trailer \
+         digest live in format.rs — express the operation as a `format` \
+         helper so those rules apply to every byte that reaches disk"
+    );
+    assert_eq!(
+        v.trace,
+        vec![
+            "sybil-store::store::save_raw performs IO write via `fs::write` \
+             at crates/sybil-store/src/store.rs:5, outside the format \
+             module that owns the on-disk encoding"
+                .to_string(),
+        ],
+        "{v:#?}"
+    );
+}
+
+// ---------------------------------------------------------------------
 // Clean fixture: root + sink designation with no effects stays silent.
 
 #[test]

@@ -1,0 +1,5 @@
+//! BAD: the persistence crate puts bytes on disk from `store.rs`,
+//! bypassing the format module that owns the versioned encoding.
+
+pub mod format;
+pub mod store;

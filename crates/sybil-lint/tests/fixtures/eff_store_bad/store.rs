@@ -1,0 +1,6 @@
+//! BAD: a store layer that writes bytes the format module never sees.
+
+/// Saves a checkpoint directly — unversioned, unframed, undigested.
+pub fn save_raw(path: &str, bytes: &[u8]) -> bool {
+    std::fs::write(path, bytes).is_ok()
+}

@@ -1,0 +1,8 @@
+// Keeps the fixture's exports alive for S104: write_atomic, save_raw.
+
+fn main() {
+    let _ = (
+        sybil_store::format::write_atomic("a.sybc", &[]),
+        sybil_store::store::save_raw("b.sybc", &[]),
+    );
+}

@@ -27,7 +27,9 @@
 //! [`DeploymentReport`] is byte-identical to [`replay`]'s at every shard
 //! and thread count.
 
-use crate::fault::{ChaosError, EpochRecordRef, FaultKind, FaultPlane, NoFaults, ShardFault};
+use crate::fault::{
+    ChaosError, EpochRecord, EpochRecordRef, FaultKind, FaultPlane, SessionCheckpoint, ShardFault,
+};
 use crate::mirror::GraphMirror;
 use crate::queue::QueueFull;
 use crate::shard::{EpochOutput, ShardObs, ShardState, TaggedDetection, TaggedFeedback};
@@ -116,11 +118,11 @@ impl From<QueueFull> for ServeError {
 }
 
 /// A monotonic-seconds source injected by callers that want timing
-/// ([`serve_timed`]). The engine never reads a clock itself, so timing
-/// stays a benchmark concern.
+/// ([`ServeSession::clock`](crate::ServeSession::clock)). The engine
+/// never reads a clock itself, so timing stays a benchmark concern.
 pub type Clock<'a> = &'a (dyn Fn() -> f64 + Sync);
 
-/// Timing breakdown of a [`serve_timed`] run.
+/// Timing breakdown of a serve run (zero when no clock was injected).
 #[derive(Clone, Debug, Default)]
 pub struct ServeStats {
     /// End-to-end seconds, by the injected clock.
@@ -135,82 +137,13 @@ pub struct ServeStats {
     pub shard_busy_s: Vec<f64>,
 }
 
-/// Run the sharded streaming detector over a simulation's request log.
-/// The returned report is byte-identical to `replay(out, &cfg.detect)`
-/// for every shard count ≥ 1.
-pub fn serve(out: &SimOutput, cfg: &ServeConfig) -> Result<DeploymentReport, ServeError> {
-    serve_timed(out, cfg, &|| 0.0).map(|(report, _)| report)
-}
-
-/// [`serve`] with an injected clock, returning the timing breakdown
-/// alongside the report. Used by the `serve_throughput` bench.
-pub fn serve_timed(
-    out: &SimOutput,
-    cfg: &ServeConfig,
-    clock: Clock<'_>,
-) -> Result<(DeploymentReport, ServeStats), ServeError> {
-    serve_inner(out, cfg, clock, None, &mut NoFaults)
-}
-
-/// [`serve_timed`] with metrics: shard work tallies (drained at each
-/// epoch barrier in shard-id order) land in `obs`'s *logical* section
-/// under the same keys as the sequential `replay_observed` — and with
-/// equal values, at every shard and thread count. Per-shard quantities
-/// (staging-queue high-water marks, per-shard check counts) land in the
-/// *sharded* section keyed `shard{N}.{name}`; per-epoch wall timing (from
-/// the injected clock) in the `epoch` span.
-pub fn serve_observed(
-    out: &SimOutput,
-    cfg: &ServeConfig,
-    clock: Clock<'_>,
-    obs: &mut sybil_obs::Registry,
-) -> Result<(DeploymentReport, ServeStats), ServeError> {
-    serve_inner(out, cfg, clock, Some(obs), &mut NoFaults)
-}
-
-/// [`serve`] under a chaos plane: the same coordinator loop, consulting
-/// `plane` at every decision point (write-ahead journaling, queue
-/// clamps, crashes, delivery order). With a plane whose
-/// [`enabled`](FaultPlane::enabled) is `false` this is exactly
-/// [`serve`].
-pub fn serve_with_plane<P: FaultPlane>(
-    out: &SimOutput,
-    cfg: &ServeConfig,
-    plane: &mut P,
-) -> Result<DeploymentReport, ServeError> {
-    serve_inner(out, cfg, &|| 0.0, None, plane).map(|(report, _)| report)
-}
-
-/// [`serve_with_plane`] with an injected clock, returning the timing
-/// breakdown — the chaos bench measures journal overhead against the
-/// fault-free critical path through this entry point.
-pub fn serve_with_plane_timed<P: FaultPlane>(
-    out: &SimOutput,
-    cfg: &ServeConfig,
-    clock: Clock<'_>,
-    plane: &mut P,
-) -> Result<(DeploymentReport, ServeStats), ServeError> {
-    serve_inner(out, cfg, clock, None, plane)
-}
-
-/// [`serve_with_plane`] with metrics: shard tallies land in `obs` under
-/// the same keys as [`serve_observed`], so a recovered run's logical
-/// metrics can be compared against the fault-free run's.
-pub fn serve_with_plane_observed<P: FaultPlane>(
-    out: &SimOutput,
-    cfg: &ServeConfig,
-    clock: Clock<'_>,
-    obs: &mut sybil_obs::Registry,
-    plane: &mut P,
-) -> Result<(DeploymentReport, ServeStats), ServeError> {
-    serve_inner(out, cfg, clock, Some(obs), plane)
-}
-
-/// The one coordinator loop behind [`serve_timed`], [`serve_observed`],
-/// and the `serve_with_plane*` chaos entry points. Generic over the
-/// fault plane so the production instantiation (with [`NoFaults`])
-/// monomorphizes every hook to an inlined no-op.
-fn serve_inner<P: FaultPlane>(
+/// The one coordinator loop behind
+/// [`ServeSession`](crate::ServeSession) — run it through the builder,
+/// which owns the optional-capability wiring (clock, metrics, fault
+/// plane / store). Generic over the fault plane so the production
+/// instantiation (with [`NoFaults`](crate::NoFaults)) monomorphizes
+/// every hook to an inlined no-op.
+pub(crate) fn serve_inner<P: FaultPlane>(
     out: &SimOutput,
     cfg: &ServeConfig,
     clock: Clock<'_>,
@@ -262,7 +195,74 @@ fn serve_inner<P: FaultPlane>(
     // skips every chaos block below.
     let chaos = plane.enabled();
 
+    // Warm restart: the plane may hand back the latest checkpoint plus
+    // the journal tail written after it. Restore the barrier-time state,
+    // replay the tail sequentially (same inputs, same merge keys, same
+    // fold order as the live barrier), then skip the already-completed
+    // epochs in the live loop below and continue mid-stream.
+    let mut resume_skip = 0u64;
+    if chaos {
+        if let Some(resume) = plane.load_resume().map_err(ServeError::Chaos)? {
+            let cp = resume.checkpoint;
+            if cp.shards.len() != shards_n {
+                // A checkpoint from a different shard topology cannot
+                // resume this run.
+                return Err(ServeError::Chaos(ChaosError {
+                    epoch: cp.epochs,
+                    shard: None,
+                    fault_kind: FaultKind::Journal,
+                }));
+            }
+            shards = cp
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(s, snap)| ShardState::from_snapshot(s, shards_n, n, &rt, snap))
+                .collect();
+            mirror =
+                GraphMirror::restore(n, cfg.rotate_floor, &cp.folded_edges, &cp.staged_edges);
+            tagged = cp
+                .tagged
+                .into_iter()
+                .map(|(seq, detection)| TaggedDetection { seq, detection })
+                .collect();
+            carry_feedback = cp.carry_feedback;
+            totals = cp.totals;
+            epochs = cp.epochs;
+            for rec in &resume.tail {
+                if rec.epoch != epochs {
+                    // The tail must continue exactly where the
+                    // checkpoint stopped, gap- and overlap-free.
+                    return Err(ServeError::Chaos(ChaosError {
+                        epoch: rec.epoch,
+                        shard: None,
+                        fault_kind: FaultKind::Journal,
+                    }));
+                }
+                replay_tail_epoch(
+                    plane,
+                    rec,
+                    out,
+                    &mut shards,
+                    &mut mirror,
+                    &mut tagged,
+                    &mut carry_feedback,
+                    &mut totals,
+                )?;
+                epochs += 1;
+            }
+            resume_skip = epochs;
+        }
+    }
+
     while let Some((events, details)) = batches.next_epoch() {
+        if resume_skip > 0 {
+            // This epoch finished before the restart (restored from the
+            // checkpoint or replayed from the journal tail): consume its
+            // batch and move on.
+            resume_skip -= 1;
+            continue;
+        }
         let feed = std::mem::take(&mut carry_feedback);
         let t_epoch = clock();
         let epoch_no = epochs;
@@ -421,6 +421,21 @@ fn serve_inner<P: FaultPlane>(
             plane
                 .epoch_commit(epoch_no, digests.as_deref())
                 .map_err(ServeError::Chaos)?;
+            if plane.wants_checkpoint(epoch_no) {
+                // Post-commit, post-fold: the checkpoint captures
+                // exactly the state the next epoch starts from, so a
+                // restart resumes at this barrier.
+                let cp = SessionCheckpoint {
+                    epochs,
+                    shards: shards.iter().map(ShardState::snapshot).collect(),
+                    folded_edges: mirror.folded_edges(),
+                    staged_edges: mirror.staged_edges().to_vec(),
+                    tagged: tagged.iter().map(|t| (t.seq, t.detection)).collect(),
+                    carry_feedback: carry_feedback.clone(),
+                    totals,
+                };
+                plane.checkpoint(&cp).map_err(ServeError::Chaos)?;
+            }
         }
     }
 
@@ -441,6 +456,81 @@ fn serve_inner<P: FaultPlane>(
         reg.add(id, epochs);
     }
     Ok((report, stats))
+}
+
+/// Re-run one journaled epoch on every shard during a warm restart: the
+/// same inputs, merge keys, and fold order as the live barrier, so the
+/// restored session reaches state byte-identical to the run that wrote
+/// the journal. Obs tallies fold into `totals` exactly as live (shard
+/// 0's feedback count only); per-shard registry metrics are *not*
+/// replayed — a restarted process reports its own work, and the
+/// byte-identity contract is on the [`DeploymentReport`]. Each shard's
+/// reconstructed state is verified against the journal's committed
+/// digest when one was recorded.
+#[allow(clippy::too_many_arguments)]
+fn replay_tail_epoch<P: FaultPlane>(
+    plane: &mut P,
+    rec: &EpochRecord,
+    out: &SimOutput,
+    shards: &mut [ShardState],
+    mirror: &mut GraphMirror,
+    tagged: &mut Vec<TaggedDetection>,
+    carry_feedback: &mut Vec<TaggedFeedback>,
+    totals: &mut ReplayCounters,
+) -> Result<(), ServeError> {
+    let feed = std::mem::take(carry_feedback);
+    let eidx = mirror.index_epoch(&rec.events, &rec.details);
+    totals.events_processed += rec.events.len() as u64;
+    let mut epoch_dets: Vec<TaggedDetection> = Vec::new();
+    let mut epoch_fb: Vec<TaggedFeedback> = Vec::new();
+    for s in shards.iter_mut() {
+        let sid = s.id();
+        let eout = s
+            .run_epoch(
+                &rec.events,
+                &rec.details,
+                out,
+                &feed,
+                mirror,
+                &eidx,
+                rec.epoch,
+                None,
+            )
+            .map_err(|_| {
+                // The original epoch ran inside its invariant bounds; a
+                // replay that overflows them has diverged.
+                ServeError::Chaos(ChaosError {
+                    epoch: rec.epoch,
+                    shard: Some(sid),
+                    fault_kind: FaultKind::ReplayDivergence,
+                })
+            })?;
+        let sobs = std::mem::take(&mut s.obs);
+        totals.checks_run += sobs.checks_run;
+        totals.detections += sobs.detections;
+        totals.features_computed += sobs.features_computed;
+        totals.audits_sampled += sobs.audits_sampled;
+        if sid == 0 {
+            totals.feedback_applied += sobs.feedback_applied;
+        }
+        if let Some(want) = plane.committed_digest(rec.epoch, sid) {
+            if s.digest() != want {
+                return Err(ServeError::Chaos(ChaosError {
+                    epoch: rec.epoch,
+                    shard: Some(sid),
+                    fault_kind: FaultKind::ReplayDivergence,
+                }));
+            }
+        }
+        epoch_dets.extend(eout.detections.into_items());
+        epoch_fb.extend(eout.feedback.into_items());
+    }
+    epoch_dets.sort_by_key(|d| (d.detection.at, d.seq));
+    tagged.extend(epoch_dets);
+    epoch_fb.sort_by_key(|f| (f.seq, f.intra));
+    *carry_feedback = epoch_fb;
+    mirror.absorb(eidx);
+    Ok(())
 }
 
 /// Reorder `items` according to `ord` (a permutation of `0..len`).
@@ -563,8 +653,8 @@ fn rebuild_shard<P: FaultPlane>(
 /// return the digest of the reconstructed `realtime::state` — the
 /// journal round-trip check. Comparing the result against the digest the
 /// live run committed at its final barrier proves the on-disk journal
-/// alone reaches byte-identical state. Shard resolution follows
-/// [`serve`]: `cfg.shards == 0` means the ambient thread count.
+/// alone reaches byte-identical state. Shard resolution follows the
+/// engine's: `cfg.shards == 0` means the ambient thread count.
 pub fn replay_shard<P: FaultPlane>(
     plane: &mut P,
     sid: usize,

@@ -39,7 +39,11 @@
 //! below — journal writes are legal only behind the chaos plane's
 //! barrier hooks.
 
+use osn_graph::{NodeId, Timestamp};
 use osn_sim::stream::{EventDetail, StreamEvent};
+use sybil_core::realtime::state::AccountState;
+use sybil_core::realtime::{Detection, ReplayCounters};
+use sybil_features::FeatureVector;
 
 pub use crate::shard::TaggedFeedback as FeedbackRecord;
 
@@ -154,6 +158,62 @@ pub struct EpochRecord {
     pub feedback: Vec<FeedbackRecord>,
 }
 
+/// Byte-exact snapshot of one shard's full logical state at an epoch
+/// barrier — everything [`digest`](crate::engine)-relevant: owned account
+/// states, the replicated adaptive thresholds (as raw IEEE-754 bit
+/// words, so persistence round-trips exactly), the pending feedback
+/// replica, and the audit bookkeeping. Derived fields (ownership masks,
+/// kernel scratch) are rebuilt on restore, not persisted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardSnapshot {
+    /// Owned accounts' states, in local-slot order.
+    pub states: Vec<AccountState>,
+    /// `AdaptiveThresholds::to_raw` words (six trackers + `use_cc`).
+    pub adaptive: [u64; 31],
+    /// Pending feedback replica: `(due, features, truth)` in global order.
+    pub feedback_queue: Vec<(Timestamp, FeatureVector, bool)>,
+    /// Sends until the next audit sample.
+    pub sends_until_audit: u64,
+    /// Deterministic audit pointer.
+    pub audit_cursor: u64,
+}
+
+/// Everything a warm restart needs to resume the coordinator loop from
+/// an epoch barrier: per-shard state, the edge mirror (folded and staged
+/// halves separately, so rotation timing resumes exactly), the merged
+/// detections so far, the feedback awaiting redistribution, and the
+/// logical totals. Taken at the *end* of an epoch, so `epochs` is the
+/// number of completed epochs and the next live epoch is `epochs`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionCheckpoint {
+    /// Completed epochs at checkpoint time.
+    pub epochs: u64,
+    /// One snapshot per shard, in shard-id order.
+    pub shards: Vec<ShardSnapshot>,
+    /// Edges folded into the mirror's CSR snapshot, ordered by
+    /// `(time, low id, high id)` so one merge re-fold restores it.
+    pub folded_edges: Vec<(NodeId, NodeId, Timestamp)>,
+    /// Edges still staged in the mirror's delta, in stream order.
+    pub staged_edges: Vec<(NodeId, NodeId, Timestamp)>,
+    /// Merged detections so far as `(seq, detection)`, in global order.
+    pub tagged: Vec<(u64, Detection)>,
+    /// Feedback staged at the last barrier, awaiting redistribution.
+    pub carry_feedback: Vec<FeedbackRecord>,
+    /// Logical totals folded so far.
+    pub totals: ReplayCounters,
+}
+
+/// What [`FaultPlane::load_resume`] hands the coordinator on a warm
+/// restart: the latest checkpoint plus the journal tail — every epoch
+/// journaled after the checkpoint, to be replayed sequentially before
+/// live processing resumes.
+pub struct ResumeState {
+    /// The checkpoint to restore.
+    pub checkpoint: SessionCheckpoint,
+    /// Journaled epochs `checkpoint.epochs..`, in epoch order.
+    pub tail: Vec<EpochRecord>,
+}
+
 /// The coordinator's chaos decision points. Every method has a no-op
 /// default, so the production implementation is [`NoFaults`] — an empty
 /// `impl` block — and a conforming chaos plane overrides exactly the
@@ -222,6 +282,28 @@ pub trait FaultPlane {
     fn run_end(&mut self, _epochs: u64, _digests: &[u64]) -> Result<(), ChaosError> {
         Ok(())
     }
+
+    /// Whether [`checkpoint`](Self::checkpoint) wants the full session
+    /// state after epoch `epoch`'s barrier (snapshotting is O(state), so
+    /// the plane opts in per epoch).
+    #[inline]
+    fn wants_checkpoint(&self, _epoch: u64) -> bool {
+        false
+    }
+
+    /// Persist a full session checkpoint (taken at an epoch barrier,
+    /// after the merge and mirror fold). Only called when
+    /// [`wants_checkpoint`](Self::wants_checkpoint) answered `true`.
+    fn checkpoint(&mut self, _cp: &SessionCheckpoint) -> Result<(), ChaosError> {
+        Ok(())
+    }
+
+    /// Warm-restart hook, consulted once before the coordinator loop
+    /// starts: `Some` restores the checkpoint, replays the journal tail,
+    /// and resumes mid-stream; `None` (the default) starts cold.
+    fn load_resume(&mut self) -> Result<Option<ResumeState>, ChaosError> {
+        Ok(None)
+    }
 }
 
 /// The production fault plane: no faults, no journal, nothing. Lint rule
@@ -248,6 +330,18 @@ mod tests {
         assert!(p.replay_epoch(0).unwrap().is_none());
         assert_eq!(p.committed_digest(0, 0), None);
         assert_eq!(p.run_end(0, &[]), Ok(()));
+        assert!(!p.wants_checkpoint(0));
+        let cp = SessionCheckpoint {
+            epochs: 0,
+            shards: Vec::new(),
+            folded_edges: Vec::new(),
+            staged_edges: Vec::new(),
+            tagged: Vec::new(),
+            carry_feedback: Vec::new(),
+            totals: ReplayCounters::default(),
+        };
+        assert_eq!(p.checkpoint(&cp), Ok(()));
+        assert!(p.load_resume().unwrap().is_none());
     }
 
     #[test]

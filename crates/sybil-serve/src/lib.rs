@@ -21,6 +21,13 @@
 //! every shard count and every `RENREN_THREADS` value. See `engine` for
 //! the argument and DESIGN.md §"Serving architecture" for the prose
 //! version.
+//!
+//! The one entry point is the [`ServeSession`] builder: construct with a
+//! [`ServeConfig`], chain on the optional capabilities (clock, metrics,
+//! fault/persistence plane), and [`run`](ServeSession::run). With a
+//! persistence plane (`sybil-store`'s `StorePlane`) the session also
+//! checkpoints at epoch barriers and warm-restarts mid-stream — see
+//! `session` and DESIGN.md §"Persistence & warm restart".
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -29,10 +36,11 @@ pub mod engine;
 pub mod fault;
 mod mirror;
 pub mod queue;
+mod session;
 mod shard;
 
-pub use engine::{
-    replay_shard, serve, serve_observed, serve_timed, serve_with_plane, serve_with_plane_observed,
-    serve_with_plane_timed, ServeConfig, ServeError, ServeStats,
+pub use engine::{replay_shard, Clock, ServeConfig, ServeError, ServeStats};
+pub use fault::{
+    ChaosError, FaultKind, FaultPlane, NoFaults, ResumeState, SessionCheckpoint, ShardSnapshot,
 };
-pub use fault::{ChaosError, FaultKind, FaultPlane, NoFaults};
+pub use session::{ServeOutcome, ServeSession};

@@ -296,6 +296,54 @@ impl GraphMirror {
         self.delta.marked_count(u, scratch)
     }
 
+    /// Folded (snapshot) edges as undirected `(u, v, t)` triples with
+    /// `u < v`, sorted by `(t, u, v)`. That order makes a single
+    /// [`CsrSnapshot::merge_delta_with`] re-fold legal (rows must extend
+    /// in time order) and is a deterministic function of the edge *set*,
+    /// so checkpoints of a restored mirror stay byte-stable.
+    pub(crate) fn folded_edges(&self) -> Vec<(NodeId, NodeId, Timestamp)> {
+        let mut edges = Vec::with_capacity(self.snapshot.num_edges());
+        for u in 0..self.snapshot.num_nodes() as u32 {
+            let n = NodeId(u);
+            let nbrs = self.snapshot.neighbors_sorted(n);
+            let times = self.snapshot.times_sorted(n);
+            for (&v, &t) in nbrs.iter().zip(times) {
+                if u < v {
+                    edges.push((n, NodeId(v), t));
+                }
+            }
+        }
+        edges.sort_unstable_by_key(|&(u, v, t)| (t, u.0, v.0));
+        edges
+    }
+
+    /// Edges staged in the delta (accepted since the last rotation), in
+    /// stream order.
+    pub(crate) fn staged_edges(&self) -> &[(NodeId, NodeId, Timestamp)] {
+        &self.delta.edges
+    }
+
+    /// Rebuild a mirror from persisted [`Self::folded_edges`] /
+    /// [`Self::staged_edges`] output: one merge re-folds the snapshot,
+    /// then staged edges re-enter the delta. The fold/delta split is
+    /// restored exactly as persisted, so rotation timing — and therefore
+    /// every downstream probe — continues deterministically.
+    pub(crate) fn restore(
+        num_accounts: usize,
+        rotate_floor: usize,
+        folded: &[(NodeId, NodeId, Timestamp)],
+        staged: &[(NodeId, NodeId, Timestamp)],
+    ) -> Self {
+        let mut m = GraphMirror::new(num_accounts, rotate_floor);
+        if !folded.is_empty() {
+            m.snapshot.merge_delta_with(folded, &mut m.merge_scratch);
+        }
+        for &(u, v, t) in staged {
+            m.delta.push(u, v, t);
+        }
+        m
+    }
+
     /// Fold an epoch's new edges in after the barrier, rotating the
     /// snapshot when the delta outgrows the threshold. Rotation timing is
     /// value-neutral — a link counts the same from the snapshot, the

@@ -13,7 +13,7 @@ use osn_sim::{
 use proptest::prelude::*;
 use sybil_core::realtime::{replay, replay_observed, RealtimeConfig};
 use sybil_core::ThresholdClassifier;
-use sybil_serve::{serve, serve_observed, ServeConfig};
+use sybil_serve::{ServeConfig, ServeSession};
 
 /// One request spec: (from, to, sent_h, Some((answered_after_h, accepted))).
 type RequestSpec = (u32, u32, u64, Option<(u64, bool)>);
@@ -90,14 +90,18 @@ fn eager_cfg(adaptive: bool) -> RealtimeConfig {
 }
 
 fn report_bytes(out: &SimOutput, cfg: &ServeConfig) -> String {
-    serde_json::to_string(&serve(out, cfg).expect("serve failed")).unwrap()
+    let outcome = ServeSession::new(*cfg).run(out).expect("serve failed");
+    serde_json::to_string(&outcome.report).unwrap()
 }
 
-/// Serialized `logical` section of an observed serve run (injected null
-/// clock; wall spans are irrelevant to the contract under test).
+/// Serialized `logical` section of an observed serve run (no clock;
+/// wall spans are irrelevant to the contract under test).
 fn serve_logical_bytes(out: &SimOutput, cfg: &ServeConfig) -> String {
     let mut reg = sybil_obs::Registry::new();
-    serve_observed(out, cfg, &|| 0.0, &mut reg).expect("serve failed");
+    ServeSession::new(*cfg)
+        .metrics(&mut reg)
+        .run(out)
+        .expect("serve failed");
     serde_json::to_string(&reg.snapshot().logical).unwrap()
 }
 
@@ -125,7 +129,10 @@ fn assert_logical_metrics_agree(out: &SimOutput, detect: RealtimeConfig, epoch_h
             ),
         }
         let mut reg = sybil_obs::Registry::new();
-        serve_observed(out, &cfg, &|| 0.0, &mut reg).expect("serve failed");
+        ServeSession::new(cfg)
+            .metrics(&mut reg)
+            .run(out)
+            .expect("serve failed");
         let serve_logical = reg.snapshot().logical;
         for (k, v) in &replay_logical {
             assert_eq!(

@@ -1,0 +1,834 @@
+//! The `SYBS` checkpoint format and **every** filesystem touch in this
+//! crate.
+//!
+//! ## Format
+//!
+//! A checkpoint file is a header, a run of tagged sections, and a digest
+//! trailer. All integers are little-endian; floats are IEEE-754 bit
+//! patterns written as `u64`; `usize` never appears on disk. The byte
+//! stream is a pure function of the logical checkpoint, so two encodes of
+//! equal state are byte-identical on every platform — the golden-bytes
+//! regression test pins exactly this.
+//!
+//! ```text
+//! file    := magic b"SYBS"  version:u32 (= 1)  n_sections:u32
+//!            section[n_sections]  digest:u64
+//! section := tag:u8  len:u32  payload[len]
+//! ```
+//!
+//! Sections are held in a `BTreeMap` keyed by tag while encoding and are
+//! therefore written in strictly ascending tag order; the decoder rejects
+//! out-of-order or duplicate tags. Version 1 defines tags 1–7 (meta,
+//! shards, folded edges, staged edges, tagged detections, carried
+//! feedback, totals); an unknown tag is a typed
+//! [`StoreError::UnknownSection`], never skipped — adding a section means
+//! bumping [`VERSION`].
+//!
+//! The trailer is a [`Digest64`] fold over the version, the section
+//! count, and every section's tag, length, and payload. A flipped bit
+//! anywhere surfaces as [`StoreError::DigestMismatch`] before any field
+//! reaches the engine.
+//!
+//! ## IO policy
+//!
+//! Workspace lint rule S119 confines file IO that writes versioned state
+//! to this module: checkpoint writes go through [`write_atomic`]
+//! (temporary sibling + rename, so a crash mid-write never leaves a
+//! half-checkpoint under the final name), journal files are
+//! opened through [`open_or_create_journal`] (which first truncates a
+//! torn tail back to the last whole frame, because
+//! `Journal::open` is strict about truncation), and directory scans go
+//! through [`list_checkpoints`].
+
+use crate::error::{IoOp, StoreError};
+use osn_graph::{NodeId, Timestamp};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use sybil_chaos::journal::{self, Journal, JournalError};
+use sybil_core::digest::Digest64;
+use sybil_core::realtime::state::AccountState;
+use sybil_core::realtime::{Detection, ReplayCounters};
+use sybil_features::FeatureVector;
+use sybil_serve::fault::FeedbackRecord;
+use sybil_serve::{SessionCheckpoint, ShardSnapshot};
+
+/// Checkpoint magic: `b"SYBS"`.
+pub const MAGIC: [u8; 4] = *b"SYBS";
+/// Current checkpoint format version.
+pub const VERSION: u32 = 1;
+
+/// Section tags defined by version 1, in file order.
+const TAG_META: u8 = 1;
+const TAG_SHARDS: u8 = 2;
+const TAG_FOLDED: u8 = 3;
+const TAG_STAGED: u8 = 4;
+const TAG_TAGGED: u8 = 5;
+const TAG_CARRY: u8 = 6;
+const TAG_TOTALS: u8 = 7;
+
+// ---------------------------------------------------------------------
+// Field encoders (little-endian, width-explicit).
+// ---------------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    put_u8(buf, u8::from(v));
+}
+
+/// Little-endian field decoder with absolute offsets for error reports.
+struct Fields<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    base: u64,
+}
+
+impl<'a> Fields<'a> {
+    fn new(buf: &'a [u8], base: u64) -> Self {
+        Fields { buf, pos: 0, base }
+    }
+
+    fn offset(&self) -> u64 {
+        self.base + self.pos as u64
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(StoreError::TruncatedFrame {
+                offset: self.offset(),
+            }),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        let s = self.take(4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, StoreError> {
+        let off = self.offset();
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(StoreError::BadField { offset: off }),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Section payload codecs.
+// ---------------------------------------------------------------------
+
+fn put_account(buf: &mut Vec<u8>, st: &AccountState) {
+    put_u32(buf, st.sent);
+    put_u32(buf, st.accepted);
+    put_u32(buf, st.rejected);
+    put_u32(buf, st.recent_sends.len() as u32);
+    for &s in &st.recent_sends {
+        put_u64(buf, s);
+    }
+    put_u32(buf, st.peak_1h);
+    put_u32(buf, st.friends.len() as u32);
+    for f in &st.friends {
+        put_u32(buf, f.0);
+    }
+    put_bool(buf, st.friends_dup);
+    put_bool(buf, st.detected);
+}
+
+fn get_account(f: &mut Fields<'_>) -> Result<AccountState, StoreError> {
+    let sent = f.u32()?;
+    let accepted = f.u32()?;
+    let rejected = f.u32()?;
+    let n_recent = f.u32()? as usize;
+    let mut recent_sends = std::collections::VecDeque::with_capacity(n_recent);
+    for _ in 0..n_recent {
+        recent_sends.push_back(f.u64()?);
+    }
+    let peak_1h = f.u32()?;
+    let n_friends = f.u32()? as usize;
+    let mut friends = Vec::with_capacity(n_friends);
+    for _ in 0..n_friends {
+        friends.push(NodeId(f.u32()?));
+    }
+    let friends_dup = f.bool()?;
+    let detected = f.bool()?;
+    Ok(AccountState {
+        sent,
+        accepted,
+        rejected,
+        recent_sends,
+        peak_1h,
+        friends,
+        friends_dup,
+        detected,
+    })
+}
+
+fn put_features(buf: &mut Vec<u8>, fv: &FeatureVector) {
+    for v in fv.as_array() {
+        put_f64(buf, v);
+    }
+}
+
+fn get_features(f: &mut Fields<'_>) -> Result<FeatureVector, StoreError> {
+    Ok(FeatureVector {
+        inv_freq_1h: f.f64()?,
+        inv_freq_400h: f.f64()?,
+        outgoing_accept_ratio: f.f64()?,
+        incoming_accept_ratio: f.f64()?,
+        clustering_coefficient: f.f64()?,
+    })
+}
+
+fn put_shard(buf: &mut Vec<u8>, s: &ShardSnapshot) {
+    put_u32(buf, s.states.len() as u32);
+    for st in &s.states {
+        put_account(buf, st);
+    }
+    for &w in &s.adaptive {
+        put_u64(buf, w);
+    }
+    put_u32(buf, s.feedback_queue.len() as u32);
+    for (due, fv, truth) in &s.feedback_queue {
+        put_u64(buf, due.as_secs());
+        put_features(buf, fv);
+        put_bool(buf, *truth);
+    }
+    put_u64(buf, s.sends_until_audit);
+    put_u64(buf, s.audit_cursor);
+}
+
+fn get_shard(f: &mut Fields<'_>) -> Result<ShardSnapshot, StoreError> {
+    let n_states = f.u32()? as usize;
+    let mut states = Vec::with_capacity(n_states);
+    for _ in 0..n_states {
+        states.push(get_account(f)?);
+    }
+    let mut adaptive = [0u64; 31];
+    for w in &mut adaptive {
+        *w = f.u64()?;
+    }
+    let n_feedback = f.u32()? as usize;
+    let mut feedback_queue = Vec::with_capacity(n_feedback);
+    for _ in 0..n_feedback {
+        let due = Timestamp(f.u64()?);
+        let fv = get_features(f)?;
+        let truth = f.bool()?;
+        feedback_queue.push((due, fv, truth));
+    }
+    let sends_until_audit = f.u64()?;
+    let audit_cursor = f.u64()?;
+    Ok(ShardSnapshot {
+        states,
+        adaptive,
+        feedback_queue,
+        sends_until_audit,
+        audit_cursor,
+    })
+}
+
+fn put_edges(buf: &mut Vec<u8>, edges: &[(NodeId, NodeId, Timestamp)]) {
+    put_u32(buf, edges.len() as u32);
+    for &(u, v, t) in edges {
+        put_u32(buf, u.0);
+        put_u32(buf, v.0);
+        put_u64(buf, t.as_secs());
+    }
+}
+
+fn get_edges(f: &mut Fields<'_>) -> Result<Vec<(NodeId, NodeId, Timestamp)>, StoreError> {
+    let n = f.u32()? as usize;
+    let mut edges = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u = NodeId(f.u32()?);
+        let v = NodeId(f.u32()?);
+        let t = Timestamp(f.u64()?);
+        edges.push((u, v, t));
+    }
+    Ok(edges)
+}
+
+fn put_feedback_record(buf: &mut Vec<u8>, fb: &FeedbackRecord) {
+    put_u64(buf, fb.seq);
+    put_u8(buf, fb.intra);
+    put_u64(buf, fb.due.as_secs());
+    put_features(buf, &fb.features);
+    put_bool(buf, fb.truth);
+}
+
+fn get_feedback_record(f: &mut Fields<'_>) -> Result<FeedbackRecord, StoreError> {
+    let seq = f.u64()?;
+    let intra = f.u8()?;
+    let due = Timestamp(f.u64()?);
+    let features = get_features(f)?;
+    let truth = f.bool()?;
+    Ok(FeedbackRecord {
+        seq,
+        intra,
+        due,
+        features,
+        truth,
+    })
+}
+
+/// Build the version-1 section map for `cp`. The `BTreeMap` key order IS
+/// the file order.
+fn sections(cp: &SessionCheckpoint) -> BTreeMap<u8, Vec<u8>> {
+    let mut map = BTreeMap::new();
+
+    let mut meta = Vec::with_capacity(12);
+    put_u64(&mut meta, cp.epochs);
+    put_u32(&mut meta, cp.shards.len() as u32);
+    map.insert(TAG_META, meta);
+
+    let mut shards = Vec::new();
+    for s in &cp.shards {
+        put_shard(&mut shards, s);
+    }
+    map.insert(TAG_SHARDS, shards);
+
+    let mut folded = Vec::with_capacity(4 + cp.folded_edges.len() * 16);
+    put_edges(&mut folded, &cp.folded_edges);
+    map.insert(TAG_FOLDED, folded);
+
+    let mut staged = Vec::with_capacity(4 + cp.staged_edges.len() * 16);
+    put_edges(&mut staged, &cp.staged_edges);
+    map.insert(TAG_STAGED, staged);
+
+    let mut tagged = Vec::with_capacity(4 + cp.tagged.len() * 21);
+    put_u32(&mut tagged, cp.tagged.len() as u32);
+    for &(seq, det) in &cp.tagged {
+        put_u64(&mut tagged, seq);
+        put_u32(&mut tagged, det.account.0);
+        put_u64(&mut tagged, det.at.as_secs());
+        put_bool(&mut tagged, det.correct);
+    }
+    map.insert(TAG_TAGGED, tagged);
+
+    let mut carry = Vec::with_capacity(4 + cp.carry_feedback.len() * 58);
+    put_u32(&mut carry, cp.carry_feedback.len() as u32);
+    for fb in &cp.carry_feedback {
+        put_feedback_record(&mut carry, fb);
+    }
+    map.insert(TAG_CARRY, carry);
+
+    let mut totals = Vec::with_capacity(48);
+    put_u64(&mut totals, cp.totals.events_processed);
+    put_u64(&mut totals, cp.totals.checks_run);
+    put_u64(&mut totals, cp.totals.detections);
+    put_u64(&mut totals, cp.totals.features_computed);
+    put_u64(&mut totals, cp.totals.feedback_applied);
+    put_u64(&mut totals, cp.totals.audits_sampled);
+    map.insert(TAG_TOTALS, totals);
+
+    map
+}
+
+/// Fold the header fields and every section into the trailer digest.
+fn trailer_digest(map: &BTreeMap<u8, Vec<u8>>) -> u64 {
+    let mut d = Digest64::new();
+    d.write_u32(VERSION);
+    d.write_usize(map.len());
+    for (&tag, payload) in map {
+        d.write_u32(u32::from(tag));
+        d.write_usize(payload.len());
+        for chunk in payload.chunks(8) {
+            let mut w = [0u8; 8];
+            let (dst, _) = w.split_at_mut(chunk.len());
+            dst.copy_from_slice(chunk);
+            d.write_u64(u64::from_le_bytes(w));
+        }
+    }
+    d.finish()
+}
+
+/// Encode `cp` as one version-1 `SYBS` byte stream.
+pub fn encode_checkpoint(cp: &SessionCheckpoint) -> Vec<u8> {
+    let map = sections(cp);
+    let body: usize = map.values().map(|p| 5 + p.len()).sum();
+    let mut out = Vec::with_capacity(16 + body + 8);
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, VERSION);
+    put_u32(&mut out, map.len() as u32);
+    for (&tag, payload) in &map {
+        put_u8(&mut out, tag);
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(payload);
+    }
+    put_u64(&mut out, trailer_digest(&map));
+    out
+}
+
+/// Decode a version-1 `SYBS` byte stream back into a checkpoint,
+/// verifying the trailer digest and rejecting unknown, duplicate, or
+/// out-of-order sections.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<SessionCheckpoint, StoreError> {
+    let mut f = Fields::new(bytes, 0);
+    let magic = f.take(4)?;
+    if magic != MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(magic);
+        return Err(StoreError::BadMagic { found });
+    }
+    let version = f.u32()?;
+    if version != VERSION {
+        return Err(StoreError::VersionMismatch {
+            found: version,
+            expected: VERSION,
+        });
+    }
+    let n_sections = f.u32()? as usize;
+    let mut map: BTreeMap<u8, (u64, &[u8])> = BTreeMap::new();
+    let mut prev_tag: Option<u8> = None;
+    for _ in 0..n_sections {
+        let tag_off = f.offset();
+        let tag = f.u8()?;
+        if !(TAG_META..=TAG_TOTALS).contains(&tag) {
+            return Err(StoreError::UnknownSection { tag });
+        }
+        if prev_tag.is_some_and(|p| p >= tag) {
+            // Duplicate or descending tag: not the canonical encoding.
+            return Err(StoreError::BadField { offset: tag_off });
+        }
+        prev_tag = Some(tag);
+        let len = f.u32()? as usize;
+        let base = f.offset();
+        let payload = f.take(len)?;
+        map.insert(tag, (base, payload));
+    }
+    let expected = f.u64()?;
+    if !f.done() {
+        return Err(StoreError::BadField { offset: f.offset() });
+    }
+    let mut owned: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
+    for (&tag, &(_, payload)) in &map {
+        owned.insert(tag, payload.to_vec());
+    }
+    let found = trailer_digest(&owned);
+    if found != expected {
+        return Err(StoreError::DigestMismatch { expected, found });
+    }
+
+    let section = |tag: u8| -> Result<Fields<'_>, StoreError> {
+        map.get(&tag)
+            .map(|&(base, payload)| Fields::new(payload, base))
+            .ok_or(StoreError::MissingSection { tag })
+    };
+
+    let mut meta = section(TAG_META)?;
+    let epochs = meta.u64()?;
+    let n_shards = meta.u32()? as usize;
+
+    let mut sh = section(TAG_SHARDS)?;
+    let mut shards = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
+        shards.push(get_shard(&mut sh)?);
+    }
+
+    let folded_edges = get_edges(&mut section(TAG_FOLDED)?)?;
+    let staged_edges = get_edges(&mut section(TAG_STAGED)?)?;
+
+    let mut tg = section(TAG_TAGGED)?;
+    let n_tagged = tg.u32()? as usize;
+    let mut tagged = Vec::with_capacity(n_tagged);
+    for _ in 0..n_tagged {
+        let seq = tg.u64()?;
+        let account = NodeId(tg.u32()?);
+        let at = Timestamp(tg.u64()?);
+        let correct = tg.bool()?;
+        tagged.push((seq, Detection { account, at, correct }));
+    }
+
+    let mut cf = section(TAG_CARRY)?;
+    let n_carry = cf.u32()? as usize;
+    let mut carry_feedback = Vec::with_capacity(n_carry);
+    for _ in 0..n_carry {
+        carry_feedback.push(get_feedback_record(&mut cf)?);
+    }
+
+    let mut tot = section(TAG_TOTALS)?;
+    let totals = ReplayCounters {
+        events_processed: tot.u64()?,
+        checks_run: tot.u64()?,
+        detections: tot.u64()?,
+        features_computed: tot.u64()?,
+        feedback_applied: tot.u64()?,
+        audits_sampled: tot.u64()?,
+    };
+
+    Ok(SessionCheckpoint {
+        epochs,
+        shards,
+        folded_edges,
+        staged_edges,
+        tagged,
+        carry_feedback,
+        totals,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Filesystem operations — the only ones in the crate (lint rule S119).
+// ---------------------------------------------------------------------
+
+fn io_err(op: IoOp) -> impl Fn(std::io::Error) -> StoreError {
+    move |e| StoreError::Io { op, kind: e.kind() }
+}
+
+/// Create the store directory (and parents) if absent.
+pub(crate) fn ensure_dir(dir: &Path) -> Result<(), StoreError> {
+    std::fs::create_dir_all(dir).map_err(io_err(IoOp::CreateDir))
+}
+
+/// Read a whole file.
+pub(crate) fn read_file(path: &Path) -> Result<Vec<u8>, StoreError> {
+    std::fs::read(path).map_err(io_err(IoOp::Read))
+}
+
+/// Write `bytes` to `path` atomically: a temporary sibling is written
+/// first, then renamed over the final name, so a crash at any point
+/// leaves either the old file or the complete new one under the final
+/// name — never a torn checkpoint. There is deliberately no fsync on
+/// this path: checkpoints are a recovery *accelerator*, not the source
+/// of durability (the write-ahead journal is), and a checkpoint lost to
+/// power failure just means recovery falls back to an older one plus a
+/// longer journal tail. The trailer digest catches any file the rename
+/// contract didn't protect.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    let mut file = File::create(&tmp).map_err(io_err(IoOp::Write))?;
+    file.write_all(bytes).map_err(io_err(IoOp::Write))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(io_err(IoOp::Rename))
+}
+
+/// Checkpoint files in `dir` as `(epochs, path)`, ascending by epoch.
+/// Non-checkpoint names (the journal, temporaries) are skipped.
+pub(crate) fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(io_err(IoOp::List))?;
+    for entry in entries {
+        let entry = entry.map_err(io_err(IoOp::List))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(num) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|rest| rest.strip_suffix(".sybs"))
+        else {
+            continue;
+        };
+        if let Ok(epochs) = num.parse::<u64>() {
+            out.push((epochs, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|&(e, _)| e);
+    Ok(out)
+}
+
+/// The canonical file name for a checkpoint taken after `epochs` epochs.
+pub(crate) fn checkpoint_name(epochs: u64) -> String {
+    format!("checkpoint-{epochs:08}.sybs")
+}
+
+/// Map a journal-layer error onto the store's typed surface.
+fn map_journal(e: JournalError) -> StoreError {
+    match e {
+        JournalError::Io { kind, .. } => StoreError::Io { op: IoOp::Read, kind },
+        // `open_or_create_journal` validates magic and version from the
+        // raw bytes before handing the file to `Journal::open`, so these
+        // two arms are defensive.
+        JournalError::BadMagic => StoreError::BadMagic { found: [0; 4] },
+        JournalError::BadVersion(v) => StoreError::VersionMismatch {
+            found: v,
+            expected: journal::VERSION,
+        },
+        JournalError::Truncated { offset } => StoreError::TruncatedFrame { offset },
+        JournalError::BadTag { offset, .. } | JournalError::BadField { offset } => {
+            StoreError::BadField { offset }
+        }
+    }
+}
+
+/// Length of the longest valid prefix of a `SYBJ` stream: the header
+/// plus every whole frame. Bytes past it are a torn append.
+fn journal_valid_prefix(bytes: &[u8]) -> Result<u64, StoreError> {
+    if bytes.len() < 8 {
+        return Err(StoreError::TruncatedFrame {
+            offset: bytes.len() as u64,
+        });
+    }
+    if bytes[..4] != journal::MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(&bytes[..4]);
+        return Err(StoreError::BadMagic { found });
+    }
+    let mut vb = [0u8; 4];
+    vb.copy_from_slice(&bytes[4..8]);
+    let version = u32::from_le_bytes(vb);
+    if version != journal::VERSION {
+        return Err(StoreError::VersionMismatch {
+            found: version,
+            expected: journal::VERSION,
+        });
+    }
+    let mut pos = 8usize;
+    loop {
+        let Some(lenb) = bytes.get(pos..pos + 4) else {
+            return Ok(pos as u64);
+        };
+        let mut b = [0u8; 4];
+        b.copy_from_slice(lenb);
+        let len = u32::from_le_bytes(b) as usize;
+        if len == 0 {
+            // A zero length can never be written; treat the rest as torn.
+            return Ok(pos as u64);
+        }
+        match pos.checked_add(4 + len) {
+            Some(end) if end <= bytes.len() => pos = end,
+            _ => return Ok(pos as u64),
+        }
+    }
+}
+
+/// Open the write-ahead journal at `path` for appending, creating it if
+/// absent. An existing journal with a torn tail (the process died inside
+/// an append) is first truncated back to its last whole frame —
+/// `Journal::open` is deliberately strict about truncation, so the
+/// repair happens here, at the only layer that owns the file.
+pub(crate) fn open_or_create_journal(path: &Path) -> Result<Journal<File>, StoreError> {
+    let existing = match std::fs::metadata(path) {
+        Ok(m) => m.len() > 0,
+        Err(_) => false,
+    };
+    if !existing {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(io_err(IoOp::Write))?;
+        return Journal::create(file).map_err(map_journal);
+    }
+    let bytes = read_file(path)?;
+    // A file shorter than its own header was torn during creation; start
+    // it over rather than refusing to serve.
+    if bytes.len() < 8 {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(io_err(IoOp::Truncate))?;
+        return Journal::create(file).map_err(map_journal);
+    }
+    let valid = journal_valid_prefix(&bytes)?;
+    let file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .map_err(io_err(IoOp::Read))?;
+    if valid < bytes.len() as u64 {
+        file.set_len(valid).map_err(io_err(IoOp::Truncate))?;
+    }
+    Journal::open(file).map_err(map_journal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small synthetic checkpoint exercising every section and every
+    /// field kind (floats included, with a negative zero to pin bit
+    /// patterns).
+    pub(crate) fn sample_checkpoint() -> SessionCheckpoint {
+        let mut recent = std::collections::VecDeque::new();
+        recent.push_back(3600);
+        recent.push_back(4000);
+        let state = AccountState {
+            sent: 9,
+            accepted: 4,
+            rejected: 2,
+            recent_sends: recent,
+            peak_1h: 5,
+            friends: vec![NodeId(2), NodeId(7)],
+            friends_dup: false,
+            detected: true,
+        };
+        let fv = FeatureVector {
+            inv_freq_1h: 5.0,
+            inv_freq_400h: 9.0,
+            outgoing_accept_ratio: 2.0 / 3.0,
+            incoming_accept_ratio: 1.0,
+            clustering_coefficient: -0.0,
+        };
+        let mut adaptive = [0u64; 31];
+        for (i, w) in adaptive.iter_mut().enumerate() {
+            *w = (i as u64).wrapping_mul(0x9e37_79b9) ^ 0xabcd;
+        }
+        let shard = ShardSnapshot {
+            states: vec![state, AccountState::default()],
+            adaptive,
+            feedback_queue: vec![(Timestamp(9000), fv, true)],
+            sends_until_audit: 3,
+            audit_cursor: 17,
+        };
+        SessionCheckpoint {
+            epochs: 4,
+            shards: vec![shard.clone(), shard],
+            folded_edges: vec![(NodeId(1), NodeId(2), Timestamp(100))],
+            staged_edges: vec![(NodeId(3), NodeId(4), Timestamp(200))],
+            tagged: vec![(
+                11,
+                Detection {
+                    account: NodeId(7),
+                    at: Timestamp(4000),
+                    correct: true,
+                },
+            )],
+            carry_feedback: vec![FeedbackRecord {
+                seq: 11,
+                intra: 0,
+                due: Timestamp(47200),
+                features: fv,
+                truth: true,
+            }],
+            totals: ReplayCounters {
+                events_processed: 100,
+                checks_run: 20,
+                detections: 1,
+                features_computed: 20,
+                feedback_applied: 1,
+                audits_sampled: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_exactly() {
+        let cp = sample_checkpoint();
+        let bytes = encode_checkpoint(&cp);
+        let back = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(back, cp);
+        // Re-encoding the decoded checkpoint reproduces the same bytes:
+        // the encoding is canonical.
+        assert_eq!(encode_checkpoint(&back), bytes);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(
+            encode_checkpoint(&sample_checkpoint()),
+            encode_checkpoint(&sample_checkpoint())
+        );
+    }
+
+    #[test]
+    fn corruption_is_typed() {
+        let bytes = encode_checkpoint(&sample_checkpoint());
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            decode_checkpoint(&bad_magic),
+            Err(StoreError::BadMagic { .. })
+        ));
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 9;
+        assert_eq!(
+            decode_checkpoint(&bad_version),
+            Err(StoreError::VersionMismatch {
+                found: 9,
+                expected: VERSION
+            })
+        );
+
+        let cut = &bytes[..bytes.len() - 3];
+        assert!(matches!(
+            decode_checkpoint(cut),
+            Err(StoreError::TruncatedFrame { .. })
+        ));
+
+        // Flip one payload bit: the trailer digest catches it.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 1;
+        let err = decode_checkpoint(&flipped).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::DigestMismatch { .. } | StoreError::BadField { .. }
+            ),
+            "{err:?}"
+        );
+
+        // An unknown section tag is rejected, not skipped.
+        let mut bad_tag = bytes.clone();
+        bad_tag[12] = 99; // first section tag (magic 4 + version 4 + count 4)
+        let err = decode_checkpoint(&bad_tag).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::UnknownSection { tag: 99 } | StoreError::DigestMismatch { .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn journal_prefix_walk_finds_last_whole_frame() {
+        // header + one 5-byte frame + one torn frame.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&journal::MAGIC);
+        bytes.extend_from_slice(&journal::VERSION.to_le_bytes());
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2, 3, 4, 5]);
+        let whole = bytes.len() as u64;
+        bytes.extend_from_slice(&100u32.to_le_bytes());
+        bytes.extend_from_slice(&[9, 9]); // frame cut short
+        assert_eq!(journal_valid_prefix(&bytes).unwrap(), whole);
+        // A clean stream keeps its full length.
+        assert_eq!(journal_valid_prefix(&bytes[..whole as usize]).unwrap(), whole);
+    }
+}

@@ -6,8 +6,10 @@
 # bit-identity smoke test (the sanitizer stand-in — see DESIGN.md), the
 # parallel-substrate bench-regression guard, the serving-engine
 # serve-vs-replay equivalence smoke, the metrics bit-identity guard
-# (logical section of metrics.json across threads × shards), and the
-# observability overhead gate (<5% on the serving critical path).
+# (logical section of metrics.json across threads × shards), the
+# observability overhead gate (<5% on the serving critical path), and
+# the persistence gates (kill + warm-restart byte-identity drill,
+# checkpoint overhead <5%, warm restart beating cold replay).
 # Run from the workspace root: ./scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -222,6 +224,45 @@ print(f"chaos guard: journal overhead {r['journal_overhead_pct']:.2f}% "
       f"crash@epoch{r['crash_epoch']}/shard{r['crash_shard']} replayed "
       f"{r['crash_epochs_replayed']} epochs, "
       f"recovered_identical={r['crash_recovered_identical']}")
+sys.exit(0 if ok else 1)
+PY
+
+echo "== persistence: kill + warm-restart drill (repro restart) =="
+# A seed-derived mid-stream kill must warm-restart from the snapshot
+# store + journal tail to a report byte-identical to the uninterrupted
+# run — the sybil-store proptest's invariant, on the real repro stream.
+r_dir="$bench_tmp/restart_drill"
+cargo run -q --release -p sybil-repro --bin repro -- \
+    --scale tiny --out "$r_dir" --store "$r_dir/store" restart >/dev/null
+python3 - "$r_dir/tiny-seed1/restart.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+ok = r["matches_oracle"] and r["resumed_from"] is not None and r["checkpoints"]
+print(f"restart drill: killed at epoch {r['kill_epoch']}, resumed from "
+      f"checkpoint {r['resumed_from']} (+{r['tail_replayed']} journal epochs), "
+      f"report≡oracle={r['matches_oracle']}")
+sys.exit(0 if ok else 1)
+PY
+
+echo "== persistence: checkpoint overhead + restart-latency gates =="
+# Checkpoint writes (paired against a journal-only plane, so the delta
+# is the snapshot cost alone) must stay under 5% of the fault-free
+# critical path, persisted runs must report byte-identically to plain,
+# and a near-end warm restart must beat the cold replay it replaces.
+(cd "$bench_tmp" && cargo run -q --release -p sybil-bench --bin restart_bench \
+    --manifest-path "$root/Cargo.toml" >/dev/null)
+python3 - "$bench_tmp/BENCH_restart.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+ok = (r["report_identical"] and r["restart_identical"]
+      and r["checkpoint_overhead_pct"] < 5.0
+      and r["restart_to_first_verdict_ms"] < r["cold_replay_ms"])
+print(f"restart guard: ckpt overhead {r['checkpoint_overhead_pct']:.2f}% "
+      f"(<5% required), persisted≡plain={r['report_identical']}, "
+      f"kill@epoch{r['kill_epoch']} resumed from {r['restart_resumed_from']} "
+      f"(+{r['restart_tail_replayed']} epochs), restart "
+      f"{r['restart_to_first_verdict_ms']:.0f}ms vs cold {r['cold_replay_ms']:.0f}ms, "
+      f"restart_identical={r['restart_identical']}")
 sys.exit(0 if ok else 1)
 PY
 
